@@ -1,0 +1,38 @@
+// Ablation — §10's antenna-separation trade-off, generalising Fig 8b/8c:
+// localization accuracy vs receive antenna baseline.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/engine.hpp"
+#include "sim/scenario.hpp"
+
+int main() {
+  using namespace chronos;
+  bench::header("Ablation", "localization error vs antenna separation");
+
+  const auto scen = sim::office_testbed(42);
+
+  std::printf("  %-16s %-18s\n", "separation (m)", "median LOS error (m)");
+  for (double sep : {0.1, 0.2, 0.3, 0.5, 1.0, 1.5}) {
+    core::EngineConfig ec;
+    core::ChronosEngine eng(scen.environment(), ec);
+    mathx::Rng rng(83);
+    eng.calibrate(sim::make_laptop({0.0, 0.0}, 0.3, 11),
+                  sim::make_laptop({1.5, 0.0}, sep, 22), rng);
+    std::vector<double> errors;
+    for (int i = 0; i < 10; ++i) {
+      const auto pl = scen.sample_pair_los(rng, 1.0, 12.0);
+      const auto out = eng.locate(sim::make_laptop(pl.tx, 0.3, 11),
+                                  sim::make_laptop(pl.rx, sep, 22), rng);
+      if (out.result.valid) {
+        errors.push_back(geom::distance(out.result.position, pl.tx));
+      }
+    }
+    std::printf("  %-16.2f %-18.3f\n", sep, mathx::median(errors));
+  }
+  std::printf(
+      "\n  paper S10/S12.2: larger baselines make the circle intersection\n"
+      "  less noise-sensitive (58 cm at 30 cm sep -> 35 cm at 100 cm sep).\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Ablation — sparse solver and sparsity-level choices (DESIGN.md §5).
+//
+// Sweeps Algorithm 1's alpha and compares ISTA (the paper's algorithm),
+// FISTA (accelerated extension), OMP (greedy baseline), and the non-sparse
+// pseudo-inverse on the Fig-4 three-path workload.
+#include <cstdio>
+#include <vector>
+
+#include "baseline/pseudo_inverse.hpp"
+#include "bench_util.hpp"
+#include "core/ndft.hpp"
+#include "core/profile.hpp"
+#include "mathx/constants.hpp"
+#include "phy/band_plan.hpp"
+
+namespace {
+
+using namespace chronos;
+
+std::vector<std::complex<double>> fig4_channel(
+    const std::vector<double>& freqs) {
+  const std::vector<std::pair<double, double>> paths = {
+      {5.2e-9, 0.45}, {10e-9, 0.5}, {16e-9, 0.25}};
+  std::vector<std::complex<double>> h(freqs.size(), {0.0, 0.0});
+  for (std::size_t i = 0; i < freqs.size(); ++i) {
+    for (const auto& [tau, amp] : paths) {
+      h[i] += amp * std::polar(1.0, -mathx::kTwoPi * freqs[i] * tau);
+    }
+  }
+  return h;
+}
+
+void report(const char* name, const core::SparseSolveResult& sol) {
+  const auto profile = core::extract_profile(sol);
+  const auto fp = core::first_peak(profile, 0.2);
+  std::printf("  %-22s peaks %-4zu first %-8.2f iters %-6d residual %.4f\n",
+              name, profile.peaks.size(), fp ? fp->delay_s * 1e9 : -1.0,
+              sol.iterations, sol.residual_norm);
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Ablation", "sparse solvers and the sparsity weight alpha");
+
+  std::vector<double> freqs;
+  for (const auto& b : phy::us_band_plan()) freqs.push_back(b.center_freq_hz);
+  const core::DelayGrid grid{0.0, 40e-9, 0.125e-9};
+  const core::NdftSolver solver(freqs, grid);
+  const auto h = fig4_channel(freqs);
+
+  std::printf("  true paths: 5.20 / 10.00 / 16.00 ns\n\n");
+  std::printf("  alpha sweep (FISTA):\n");
+  for (double alpha : {0.02, 0.05, 0.1, 0.2, 0.4, 0.6}) {
+    core::IstaOptions opt;
+    opt.alpha = alpha;
+    char label[32];
+    std::snprintf(label, sizeof(label), "  alpha=%.2f", alpha);
+    report(label, solver.solve_fista(h, opt));
+  }
+
+  std::printf("\n  solver comparison (alpha=0.2):\n");
+  report("  ISTA (Algorithm 1)", solver.solve_ista(h));
+  report("  FISTA", solver.solve_fista(h));
+  report("  OMP k=6", solver.solve_omp(h, 6));
+  report("  adjoint (no sparsity)", baseline::solve_adjoint(solver, h));
+  report("  min-norm pseudo-inv", baseline::solve_min_norm(solver, h));
+
+  std::printf(
+      "\n  takeaway: the L1 solvers concentrate the profile into the three\n"
+      "  true paths; the non-sparse inversions smear energy across the "
+      "grid\n  (more clusters, ambiguous first peak) — the paper's case for\n"
+      "  sparse recovery (S6.2).\n");
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Fig 10(b) — overhead trajectory of the drone following the user through
+// the 6 m x 5 m room while holding the 1.4 m offset.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "drone/follow_sim.hpp"
+
+int main() {
+  using namespace chronos;
+  bench::header("Fig 10b", "drone + user trajectories");
+
+  drone::FollowSimConfig cfg;
+  cfg.duration_s = 20.0;
+  cfg.user_waypoints = 5;
+  mathx::Rng rng(33);
+  const auto run = drone::run_follow_simulation(cfg, rng);
+
+  std::printf("  %-7s %-9s %-9s %-9s %-9s %-12s\n", "t (s)", "user x",
+              "user y", "drone x", "drone y", "distance (m)");
+  for (std::size_t i = 0; i < run.trace.size(); i += 12) {  // 1 Hz print
+    const auto& s = run.trace[i];
+    std::printf("  %-7.1f %-9.2f %-9.2f %-9.2f %-9.2f %-12.3f\n", s.t_s,
+                s.user.x, s.user.y, s.drone.x, s.drone.y, s.true_distance_m);
+  }
+  std::printf("\n");
+  bench::paper_vs_measured("held pairwise distance", 1.4,
+                           mathx::median([&] {
+                             std::vector<double> d;
+                             for (const auto& s : run.trace)
+                               d.push_back(s.true_distance_m);
+                             return d;
+                           }()),
+                           "m");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Fig 4 — combating multipath: a 3-path channel (5.2 / 10 / 16 ns) is
+// inverted into a multipath profile via the sparse inverse NDFT; the three
+// peaks appear at the propagation delays, scaled by their attenuations.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/ndft.hpp"
+#include "core/profile.hpp"
+#include "mathx/constants.hpp"
+#include "phy/band_plan.hpp"
+
+int main() {
+  using namespace chronos;
+  bench::header("Fig 4", "multipath profile via sparse inverse NDFT");
+
+  std::vector<double> freqs;
+  for (const auto& b : phy::us_band_plan()) freqs.push_back(b.center_freq_hz);
+
+  // Paper Fig 4: direct path (attenuated) plus two reflections.
+  const std::vector<std::pair<double, double>> paths = {
+      {5.2e-9, 0.45}, {10e-9, 0.5}, {16e-9, 0.25}};
+  std::vector<std::complex<double>> h(freqs.size(), {0.0, 0.0});
+  for (std::size_t i = 0; i < freqs.size(); ++i) {
+    for (const auto& [tau, amp] : paths) {
+      h[i] += amp * std::polar(1.0, -mathx::kTwoPi * freqs[i] * tau);
+    }
+  }
+
+  const core::DelayGrid grid{0.0, 25e-9, 0.125e-9};
+  const core::NdftSolver solver(freqs, grid);
+  const auto sol = solver.solve_fista(h);
+  const auto profile = core::extract_profile(sol);
+
+  std::printf("  recovered profile peaks (power vs time, cf. Fig 4b):\n");
+  std::printf("    %-10s %-10s\n", "time (ns)", "power");
+  for (const auto& p : profile.peaks) {
+    std::printf("    %-10.2f %-10.4f\n", p.delay_s * 1e9,
+                p.amplitude * p.amplitude);
+  }
+  std::printf("\n");
+  const auto fp = core::first_peak(profile, 0.2);
+  bench::paper_vs_measured("first peak (direct path)", 5.2,
+                           fp ? fp->delay_s * 1e9 : -1.0, "ns");
+  bench::paper_vs_measured("second peak", 10.0,
+                           profile.peaks.size() > 1
+                               ? profile.peaks[1].delay_s * 1e9
+                               : -1.0,
+                           "ns");
+  bench::paper_vs_measured("third peak", 16.0,
+                           profile.peaks.size() > 2
+                               ? profile.peaks[2].delay_s * 1e9
+                               : -1.0,
+                           "ns");
+  std::printf("  solver: FISTA, %d iterations, residual %.4f\n",
+              sol.iterations, sol.residual_norm);
+  return 0;
+}

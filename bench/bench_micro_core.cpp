@@ -1,0 +1,129 @@
+// Microbenchmarks (google-benchmark) of the computational kernels: the
+// cost of one ranging call is dominated by the sparse NDFT inversion, so
+// these track the pieces that matter for real-time operation (the paper's
+// 12 sweeps/second budget leaves ~80 ms per estimate).
+#include <benchmark/benchmark.h>
+
+#include <complex>
+#include <vector>
+
+#include "core/ndft.hpp"
+#include "core/subcarrier_interp.hpp"
+#include "mathx/constants.hpp"
+#include "mathx/fft.hpp"
+#include "mathx/rng.hpp"
+#include "mathx/spline.hpp"
+#include "phy/band_plan.hpp"
+#include "phy/csi.hpp"
+
+namespace {
+
+using namespace chronos;
+
+std::vector<double> plan_freqs() {
+  std::vector<double> f;
+  for (const auto& b : phy::us_band_plan()) f.push_back(b.center_freq_hz);
+  return f;
+}
+
+std::vector<std::complex<double>> test_channel() {
+  const auto freqs = plan_freqs();
+  std::vector<std::complex<double>> h(freqs.size());
+  for (std::size_t i = 0; i < freqs.size(); ++i) {
+    h[i] = std::polar(1.0, -mathx::kTwoPi * freqs[i] * 15e-9) +
+           0.4 * std::polar(1.0, -mathx::kTwoPi * freqs[i] * 28e-9);
+  }
+  return h;
+}
+
+void BM_NdftConstruction(benchmark::State& state) {
+  const auto freqs = plan_freqs();
+  const core::DelayGrid grid{0.0, 150e-9, 0.125e-9};
+  for (auto _ : state) {
+    core::NdftSolver solver(freqs, grid);
+    benchmark::DoNotOptimize(solver.gamma());
+  }
+}
+BENCHMARK(BM_NdftConstruction)->Unit(benchmark::kMillisecond);
+
+void BM_FistaSolve(benchmark::State& state) {
+  const core::NdftSolver solver(plan_freqs(),
+                                {0.0, 150e-9, 0.125e-9});
+  const auto h = test_channel();
+  for (auto _ : state) {
+    auto sol = solver.solve_fista(h);
+    benchmark::DoNotOptimize(sol.residual_norm);
+  }
+}
+BENCHMARK(BM_FistaSolve)->Unit(benchmark::kMillisecond);
+
+void BM_IstaSolve(benchmark::State& state) {
+  const core::NdftSolver solver(plan_freqs(),
+                                {0.0, 150e-9, 0.125e-9});
+  const auto h = test_channel();
+  for (auto _ : state) {
+    auto sol = solver.solve_ista(h);
+    benchmark::DoNotOptimize(sol.residual_norm);
+  }
+}
+BENCHMARK(BM_IstaSolve)->Unit(benchmark::kMillisecond);
+
+void BM_MatchedFilterScan(benchmark::State& state) {
+  const core::NdftSolver solver(plan_freqs(),
+                                {0.0, 150e-9, 0.125e-9});
+  const auto h = test_channel();
+  for (auto _ : state) {
+    double acc = 0.0;
+    for (double u = 0.0; u < 60e-9; u += 0.04e-9) {
+      acc += solver.matched_filter(h, u);
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_MatchedFilterScan)->Unit(benchmark::kMillisecond);
+
+void BM_SubcarrierInterpolation(benchmark::State& state) {
+  phy::CsiMeasurement m;
+  m.band = phy::band_by_channel(36);
+  m.values.resize(30);
+  const auto idx = phy::intel5300_subcarrier_indices();
+  for (std::size_t k = 0; k < idx.size(); ++k) {
+    const double f =
+        m.band.center_freq_hz + phy::subcarrier_offset_hz(idx[k]);
+    m.values[k] = std::polar(1.0, -mathx::kTwoPi * f * 20e-9);
+  }
+  for (auto _ : state) {
+    auto r = core::interpolate_to_center(m);
+    benchmark::DoNotOptimize(r.zero_subcarrier);
+  }
+}
+BENCHMARK(BM_SubcarrierInterpolation);
+
+void BM_CubicSplineBuildEval(benchmark::State& state) {
+  std::vector<double> x(30), y(30);
+  for (int i = 0; i < 30; ++i) {
+    x[i] = i;
+    y[i] = std::sin(0.3 * i);
+  }
+  for (auto _ : state) {
+    mathx::CubicSpline s(x, y);
+    benchmark::DoNotOptimize(s(14.5));
+  }
+}
+BENCHMARK(BM_CubicSplineBuildEval);
+
+void BM_Fft64(benchmark::State& state) {
+  mathx::Rng rng(1);
+  std::vector<std::complex<double>> x(64);
+  for (auto& v : x) v = rng.complex_gaussian(1.0);
+  for (auto _ : state) {
+    auto copy = x;
+    mathx::fft_pow2(copy);
+    benchmark::DoNotOptimize(copy[0]);
+  }
+}
+BENCHMARK(BM_Fft64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,50 @@
+// Shared helpers for the figure-reproduction harnesses.
+//
+// Every bench prints (a) the series/rows the paper's figure plots and
+// (b) a compact "paper vs measured" summary so EXPERIMENTS.md can be
+// cross-checked from raw bench output.
+#pragma once
+
+#include <cstdio>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "mathx/stats.hpp"
+
+namespace chronos::bench {
+
+inline void header(const std::string& figure, const std::string& title) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", figure.c_str(), title.c_str());
+  std::printf("==============================================================\n");
+}
+
+inline void paper_vs_measured(const std::string& metric, double paper,
+                              double measured, const std::string& unit) {
+  std::printf("  %-44s paper %8.3f %-5s measured %8.3f %s\n", metric.c_str(),
+              paper, unit.c_str(), measured, unit.c_str());
+}
+
+inline void print_cdf(std::span<const double> samples,
+                      const std::string& label, double scale = 1.0,
+                      std::size_t points = 11) {
+  const auto series = mathx::cdf_series(samples, points);
+  std::printf("  CDF of %s:\n", label.c_str());
+  std::printf("    %-12s %s\n", "value", "cumulative");
+  for (const auto& p : series) {
+    std::printf("    %-12.4f %.2f\n", p.value * scale, p.cumulative);
+  }
+}
+
+inline void print_histogram(const mathx::Histogram& h,
+                            const std::string& label, double scale = 1.0) {
+  std::printf("  Histogram of %s:\n", label.c_str());
+  std::printf("    %-12s %s\n", "bin center", "fraction");
+  for (std::size_t i = 0; i < h.counts.size(); ++i) {
+    if (h.counts[i] == 0) continue;
+    std::printf("    %-12.2f %.4f\n", h.bin_center(i) * scale, h.fraction(i));
+  }
+}
+
+}  // namespace chronos::bench

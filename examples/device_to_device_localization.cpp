@@ -1,0 +1,49 @@
+// Device-to-device localization (paper §8, §12.2): a laptop with three
+// antennas locates a phone with no infrastructure support — no access
+// points, no fingerprinting, no anchor surveys.
+//
+// The laptop ranges the phone against each of its antennas, rejects
+// geometry-inconsistent estimates, and intersects the distance circles.
+#include <cstdio>
+
+#include "core/engine.hpp"
+#include "sim/scenario.hpp"
+
+int main() {
+  using namespace chronos;
+
+  const auto scen = sim::office_testbed(42);
+  core::EngineConfig config;
+  core::ChronosEngine engine(scen.environment(), config);
+  mathx::Rng rng(7);
+
+  engine.calibrate(sim::make_mobile({0.0, 0.0}, 11),
+                   sim::make_laptop({1.0, 0.0}, 0.3, 22), rng);
+
+  std::printf("Device-to-device localization (3-antenna laptop, 30 cm span)\n");
+  std::printf("  %-22s %-22s %-10s\n", "phone truth", "estimate", "error (m)");
+
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto pl = scen.sample_pair_los(rng, 2.0, 10.0);
+    const auto phone = sim::make_mobile(pl.tx, 11);
+    const auto laptop = sim::make_laptop(pl.rx, 0.3, 22);
+
+    const auto out = engine.locate(phone, laptop, rng);
+    if (!out.result.valid) {
+      std::printf("  trial %d: localization failed\n", trial);
+      continue;
+    }
+    std::printf("  (%6.2f, %6.2f)       (%6.2f, %6.2f)       %.2f\n",
+                pl.tx.x, pl.tx.y, out.result.position.x,
+                out.result.position.y,
+                geom::distance(out.result.position, pl.tx));
+    std::printf("    per-antenna distances:");
+    for (std::size_t a = 0; a < out.antenna_distances_m.size(); ++a) {
+      std::printf(" %.2f m%s", out.antenna_distances_m[a],
+                  out.result.used[a] ? "" : " (rejected)");
+    }
+    std::printf("\n");
+  }
+  std::printf("\npaper reference: median 58 cm (LOS) with this geometry.\n");
+  return 0;
+}

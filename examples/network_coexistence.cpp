@@ -1,0 +1,52 @@
+// Network coexistence (paper §12.3): what happens to an AP's traffic when
+// it serves a Chronos localization request mid-stream?
+//
+// Combines the hopping protocol (how long the AP is away) with the traffic
+// models (what the absence does to a video session and a TCP flow).
+#include <cstdio>
+
+#include "mathx/stats.hpp"
+#include "net/linkmodel.hpp"
+#include "net/tcp.hpp"
+#include "net/video.hpp"
+#include "proto/hopping.hpp"
+
+int main() {
+  using namespace chronos;
+
+  // 1. How long does one localization sweep take?
+  proto::HoppingConfig hop;
+  mathx::Rng rng(3);
+  const auto times = proto::sweep_time_distribution(hop, 100, rng);
+  const double sweep_s = mathx::median(times);
+  std::printf("Network coexistence with Chronos localization\n");
+  std::printf("  median sweep (AP off-channel): %.1f ms\n", sweep_s * 1e3);
+
+  // 2. The AP leaves at t = 6 s for one sweep.
+  net::LinkModel link(2.6e6);
+  link.add_outage({6.0, sweep_s});
+
+  const auto video = net::run_video_session(net::LinkModel{[&] {
+                                              net::LinkModel l(4e6);
+                                              l.add_outage({6.0, sweep_s});
+                                              return l;
+                                            }()},
+                                            {}, 10.0);
+  std::printf("  video: %zu stalls, %.0f ms total stall time\n",
+              video.stall_events, video.total_stall_time_s * 1e3);
+
+  const auto tcp = net::run_tcp_flow(link, {}, 12.0, 1.0);
+  double before = 0.0, during = 0.0;
+  for (const auto& p : tcp.trace) {
+    if (p.t_s == 6.0) before = p.throughput_bps;
+    if (p.t_s == 7.0) during = p.throughput_bps;
+  }
+  std::printf("  TCP: %.2f -> %.2f Mbit/s across the sweep (%.1f%% dip)\n",
+              before / 1e6, during / 1e6,
+              100.0 * (before - during) / before);
+  std::printf(
+      "\n  conclusion (paper §12.3): occasional localization requests are\n"
+      "  absorbed by buffers; only frequent requests justify a dedicated\n"
+      "  localization AP.\n");
+  return 0;
+}

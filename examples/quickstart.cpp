@@ -1,0 +1,46 @@
+// Quickstart: measure the sub-nanosecond time-of-flight between two
+// simulated Wi-Fi devices and convert it to a distance.
+//
+//   1. pick an environment (the 20x20 m office testbed),
+//   2. build a ChronosEngine,
+//   3. calibrate the device pair once at a known distance,
+//   4. range.
+#include <cstdio>
+
+#include "core/engine.hpp"
+#include "sim/environment.hpp"
+
+int main() {
+  using namespace chronos;
+
+  // Two devices with distinct radio "personalities" (hardware seeds give
+  // each its own chain ripple / CFO behaviour, like real cards).
+  const auto phone = sim::make_mobile({3.0, 4.0}, /*hardware_seed=*/101);
+  const auto laptop = sim::make_mobile({9.0, 8.0}, /*hardware_seed=*/202);
+
+  core::EngineConfig config;  // full impairment model, FISTA pipeline
+  core::ChronosEngine engine(sim::office_20x20(), config);
+
+  mathx::Rng rng(2016);
+
+  // One-time calibration: absorbs the pair's hardware delays and per-band
+  // phase offsets (paper §7). Done at a known 3 m separation.
+  engine.calibrate(phone, laptop, rng);
+
+  // One Chronos measurement = one sweep over all 35 US Wi-Fi bands.
+  const auto result = engine.measure_distance(phone, 0, laptop, 0, rng);
+
+  const double true_distance = geom::distance(phone.antennas[0],
+                                              laptop.antennas[0]);
+  std::printf("Chronos quickstart\n");
+  std::printf("  true distance   : %.3f m\n", true_distance);
+  std::printf("  time-of-flight  : %.3f ns\n", result.tof_s * 1e9);
+  std::printf("  estimated dist. : %.3f m  (error %+.1f cm)\n",
+              result.distance_m,
+              100.0 * (result.distance_m - true_distance));
+  std::printf("  detection delay : %.0f ns (removed by zero-subcarrier interpolation)\n",
+              result.detection_delay_s * 1e9);
+  std::printf("  multipath peaks : %zu in the recovered profile\n",
+              result.profile.peaks.size());
+  return 0;
+}

@@ -1,0 +1,50 @@
+#include "baseline/clock_toa.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "mathx/constants.hpp"
+#include "mathx/contracts.hpp"
+#include "mathx/stats.hpp"
+
+namespace chronos::baseline {
+
+double clock_toa_estimate(const ClockToaConfig& config, double tof_s,
+                          double snr_db, mathx::Rng& rng) {
+  CHRONOS_EXPECTS(config.clock_hz > 0.0, "clock must be positive");
+  CHRONOS_EXPECTS(config.averages >= 1, "averages must be >= 1");
+
+  const phy::DetectionModel detector(config.detection);
+  const double tick = 1.0 / config.clock_hz;
+
+  double acc = 0.0;
+  for (int i = 0; i < config.averages; ++i) {
+    const double delta = detector.sample_delay_s(snr_db, rng);
+    // The card timestamps the detection instant on its sampling clock.
+    const double stamped = std::ceil((tof_s + delta) / tick) * tick;
+    double estimate = stamped;
+    if (config.subtract_mean_detection_delay) {
+      estimate -= detector.expected_delay_s(snr_db);
+    }
+    acc += estimate;
+  }
+  return acc / static_cast<double>(config.averages);
+}
+
+ClockToaStats clock_toa_error_stats(const ClockToaConfig& config, double tof_s,
+                                    double snr_db, std::size_t trials,
+                                    mathx::Rng& rng) {
+  CHRONOS_EXPECTS(trials > 0, "need at least one trial");
+  std::vector<double> errors;
+  errors.reserve(trials);
+  for (std::size_t i = 0; i < trials; ++i) {
+    const double est = clock_toa_estimate(config, tof_s, snr_db, rng);
+    errors.push_back(std::abs(est - tof_s) * mathx::kSpeedOfLight);
+  }
+  ClockToaStats stats;
+  stats.median_abs_error_m = mathx::median(errors);
+  stats.p95_abs_error_m = mathx::percentile(errors, 95.0);
+  return stats;
+}
+
+}  // namespace chronos::baseline

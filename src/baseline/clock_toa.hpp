@@ -1,0 +1,41 @@
+// Clock-edge time-of-arrival ranging baselines (paper §1, §2).
+//
+// The straightforward way to measure ToF is to read the Wi-Fi card's clock
+// when the packet arrives. The clock quantises time to one sample period
+// (50 ns at 20 MHz — 15 m of light travel) and the reading includes the
+// full packet-detection delay. This module reproduces that family of
+// baselines (20/40/88 MHz clocks; the 88 MHz Atheros clock is SAIL's [39]),
+// quantifying why the research community abandoned the approach indoors.
+#pragma once
+
+#include "mathx/rng.hpp"
+#include "phy/detection.hpp"
+
+namespace chronos::baseline {
+
+struct ClockToaConfig {
+  double clock_hz = 20e6;  ///< sampling clock that timestamps arrivals
+  phy::DetectionModelParams detection{};
+  /// Round-trip schemes subtract a calibrated mean detection delay; plain
+  /// one-way schemes cannot (no common clock). Toggle what the baseline is
+  /// allowed to remove.
+  bool subtract_mean_detection_delay = true;
+  /// Measurements averaged per estimate.
+  int averages = 10;
+};
+
+/// Simulates one clock-based ToF estimate for a true flight time `tof_s`
+/// at the given SNR. Returns the estimated ToF.
+double clock_toa_estimate(const ClockToaConfig& config, double tof_s,
+                          double snr_db, mathx::Rng& rng);
+
+/// Distance error statistics over `trials` for a fixed geometry.
+struct ClockToaStats {
+  double median_abs_error_m = 0.0;
+  double p95_abs_error_m = 0.0;
+};
+ClockToaStats clock_toa_error_stats(const ClockToaConfig& config, double tof_s,
+                                    double snr_db, std::size_t trials,
+                                    mathx::Rng& rng);
+
+}  // namespace chronos::baseline

@@ -1,0 +1,126 @@
+#include "baseline/music.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mathx/constants.hpp"
+#include "mathx/contracts.hpp"
+#include "mathx/matrix.hpp"
+#include "mathx/spline.hpp"
+#include "mathx/unwrap.hpp"
+
+namespace chronos::baseline {
+
+namespace {
+
+/// Resamples the CSI onto a uniform 625 kHz grid (29 points, -28..+28 in
+/// steps of two subcarriers) via phase/magnitude splines: MUSIC's shift
+/// structure needs exactly uniform spacing, which the Intel grouping only
+/// approximates.
+std::vector<std::complex<double>> resample_uniform(
+    std::span<const std::complex<double>> values,
+    std::span<const double> offsets_hz, std::size_t* n_out, double* df_out) {
+  CHRONOS_EXPECTS(values.size() == offsets_hz.size() && values.size() >= 8,
+                  "need at least 8 subcarriers");
+  std::vector<double> phases(values.size());
+  std::vector<double> mags(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    phases[i] = std::arg(values[i]);
+    mags[i] = std::abs(values[i]);
+  }
+  const auto unwrapped = mathx::unwrap(phases);
+  const std::vector<double> x(offsets_hz.begin(), offsets_hz.end());
+  const mathx::CubicSpline phase_spline(x, unwrapped);
+  const mathx::CubicSpline mag_spline(x, mags);
+
+  constexpr std::size_t kPoints = 29;
+  constexpr double kDf = 625e3;
+  std::vector<std::complex<double>> out(kPoints);
+  for (std::size_t i = 0; i < kPoints; ++i) {
+    // Uniform grid: subcarriers -28..+28 in steps of two (625 kHz).
+    const double off = (static_cast<double>(i) * 2.0 - 28.0) * 312.5e3;
+    out[i] = std::polar(std::max(mag_spline(off), 0.0), phase_spline(off));
+  }
+  *n_out = kPoints;
+  *df_out = kDf;
+  return out;
+}
+
+}  // namespace
+
+MusicResult music_toa(std::span<const std::complex<double>> subcarrier_values,
+                      std::span<const double> subcarrier_offsets_hz,
+                      const MusicConfig& config) {
+  CHRONOS_EXPECTS(config.subarray >= 4, "subarray too small");
+  CHRONOS_EXPECTS(config.n_paths >= 1 && config.n_paths < config.subarray,
+                  "n_paths must be below the subarray length");
+  CHRONOS_EXPECTS(config.delay_step_s > 0.0 &&
+                      config.delay_max_s > config.delay_min_s,
+                  "bad delay scan");
+
+  std::size_t n = 0;
+  double df = 0.0;
+  const auto uniform =
+      resample_uniform(subcarrier_values, subcarrier_offsets_hz, &n, &df);
+  const std::size_t L = config.subarray;
+  CHRONOS_EXPECTS(L < n, "subarray must be shorter than the resampled CSI");
+
+  // Forward spatial smoothing: average the covariance of sliding windows.
+  mathx::ComplexMatrix r(L, L);
+  const std::size_t windows = n - L + 1;
+  for (std::size_t w = 0; w < windows; ++w) {
+    for (std::size_t i = 0; i < L; ++i) {
+      for (std::size_t j = 0; j < L; ++j) {
+        r(i, j) += uniform[w + i] * std::conj(uniform[w + j]);
+      }
+    }
+  }
+  for (std::size_t i = 0; i < L; ++i) {
+    for (std::size_t j = 0; j < L; ++j) {
+      r(i, j) /= static_cast<double>(windows);
+    }
+  }
+
+  // Noise subspace: eigenvectors of the smallest L - n_paths eigenvalues.
+  mathx::ComplexMatrix vecs;
+  const auto eigvals = mathx::hermitian_eigen(r, &vecs);
+  (void)eigvals;
+  const std::size_t noise_dim = L - config.n_paths;
+
+  MusicResult out;
+  for (double tau = config.delay_min_s; tau <= config.delay_max_s;
+       tau += config.delay_step_s) {
+    // Steering vector across the uniform frequency grid.
+    std::vector<std::complex<double>> e(L);
+    for (std::size_t m = 0; m < L; ++m) {
+      e[m] = std::polar(
+          1.0, -mathx::kTwoPi * df * static_cast<double>(m) * tau);
+    }
+    double denom = 0.0;
+    for (std::size_t v = 0; v < noise_dim; ++v) {
+      std::complex<double> proj{0.0, 0.0};
+      for (std::size_t m = 0; m < L; ++m) {
+        proj += std::conj(vecs(m, v)) * e[m];
+      }
+      denom += std::norm(proj);
+    }
+    out.delays_s.push_back(tau);
+    out.pseudo_spectrum.push_back(1.0 / std::max(denom, 1e-12));
+  }
+
+  // Earliest significant local maximum of the pseudo-spectrum.
+  double max_p = 0.0;
+  for (double p : out.pseudo_spectrum) max_p = std::max(max_p, p);
+  for (std::size_t i = 1; i + 1 < out.pseudo_spectrum.size(); ++i) {
+    const double p = out.pseudo_spectrum[i];
+    if (p >= out.pseudo_spectrum[i - 1] && p > out.pseudo_spectrum[i + 1] &&
+        p >= 0.3 * max_p) {
+      out.first_peak_delay_s = out.delays_s[i];
+      out.peak_found = true;
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace chronos::baseline

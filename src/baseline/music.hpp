@@ -1,0 +1,48 @@
+// MUSIC super-resolution ToA baseline on a single 20 MHz band.
+//
+// Systems like Synchronicity [57] push single-band delay resolution with
+// subspace methods. MUSIC over the 30 reported subcarriers treats the
+// frequency-domain CSI like a uniform "array" in frequency: delays play the
+// role of arrival angles. Resolution is bounded by the 20 MHz aperture
+// (~50 ns mainlobe; super-resolution refines within it), so even a perfect
+// single-band MUSIC cannot reach Chronos's sub-ns accuracy — this baseline
+// quantifies that gap.
+#pragma once
+
+#include <complex>
+#include <span>
+#include <vector>
+
+namespace chronos::baseline {
+
+struct MusicConfig {
+  /// Assumed number of paths (signal-subspace dimension).
+  std::size_t n_paths = 3;
+  /// Smoothing sub-array length (forward smoothing restores rank for the
+  /// coherent multipath sources). Must be < 30.
+  std::size_t subarray = 16;
+  /// Delay scan range and step for the pseudo-spectrum.
+  double delay_min_s = 0.0;
+  double delay_max_s = 400e-9;
+  double delay_step_s = 0.5e-9;
+};
+
+struct MusicResult {
+  std::vector<double> delays_s;       ///< scan grid
+  std::vector<double> pseudo_spectrum;
+  double first_peak_delay_s = 0.0;    ///< earliest significant peak
+  bool peak_found = false;
+};
+
+/// Runs smoothed MUSIC on one band's 30 uniformly-spaced subcarrier
+/// measurements. `subcarrier_values` are the CSI entries in Intel-5300
+/// order; `subcarrier_offsets_hz` the matching frequency offsets.
+///
+/// Note: the measured ToA here includes detection delay, like any
+/// single-band time-domain method (Chronos removes it via §5's zero-
+/// subcarrier trick, which needs cross-band stitching to be useful).
+MusicResult music_toa(std::span<const std::complex<double>> subcarrier_values,
+                      std::span<const double> subcarrier_offsets_hz,
+                      const MusicConfig& config = {});
+
+}  // namespace chronos::baseline

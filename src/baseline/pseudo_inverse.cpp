@@ -1,0 +1,91 @@
+#include "baseline/pseudo_inverse.hpp"
+
+#include "mathx/contracts.hpp"
+#include "mathx/cvec.hpp"
+
+namespace chronos::baseline {
+
+namespace {
+
+/// Solves the small Hermitian system (F F^H + reg I) x = h by Gaussian
+/// elimination (n = number of bands, tiny).
+std::vector<std::complex<double>> solve_gram(
+    const mathx::ComplexMatrix& f, std::span<const std::complex<double>> h,
+    double regularization) {
+  const std::size_t n = f.rows();
+  mathx::ComplexMatrix gram(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      std::complex<double> acc{0.0, 0.0};
+      for (std::size_t k = 0; k < f.cols(); ++k) {
+        acc += f(i, k) * std::conj(f(j, k));
+      }
+      gram(i, j) = acc;
+    }
+    gram(i, i) += regularization;
+  }
+
+  std::vector<std::complex<double>> rhs(h.begin(), h.end());
+  // In-place Gaussian elimination with partial pivoting.
+  for (std::size_t k = 0; k < n; ++k) {
+    std::size_t pivot = k;
+    double best = std::abs(gram(k, k));
+    for (std::size_t i = k + 1; i < n; ++i) {
+      if (std::abs(gram(i, k)) > best) {
+        best = std::abs(gram(i, k));
+        pivot = i;
+      }
+    }
+    CHRONOS_EXPECTS(best > 1e-14, "singular Gram matrix");
+    if (pivot != k) {
+      for (std::size_t j = 0; j < n; ++j) std::swap(gram(k, j), gram(pivot, j));
+      std::swap(rhs[k], rhs[pivot]);
+    }
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const std::complex<double> factor = gram(i, k) / gram(k, k);
+      for (std::size_t j = k; j < n; ++j) gram(i, j) -= factor * gram(k, j);
+      rhs[i] -= factor * rhs[k];
+    }
+  }
+  std::vector<std::complex<double>> x(n);
+  for (std::size_t k = n; k-- > 0;) {
+    std::complex<double> acc = rhs[k];
+    for (std::size_t j = k + 1; j < n; ++j) acc -= gram(k, j) * x[j];
+    x[k] = acc / gram(k, k);
+  }
+  return x;
+}
+
+}  // namespace
+
+core::SparseSolveResult solve_min_norm(const core::NdftSolver& solver,
+                                       std::span<const std::complex<double>> h,
+                                       double regularization) {
+  CHRONOS_EXPECTS(h.size() == solver.matrix().rows(), "size mismatch");
+  const auto y = solve_gram(solver.matrix(), h, regularization);
+  core::SparseSolveResult out;
+  out.grid = solver.grid();
+  out.coefficients = solver.matrix().multiply_adjoint(y);
+  out.converged = true;
+  out.iterations = 1;
+  auto recon = solver.synthesize(out.coefficients);
+  for (std::size_t i = 0; i < recon.size(); ++i) recon[i] -= h[i];
+  out.residual_norm = mathx::norm2(recon);
+  return out;
+}
+
+core::SparseSolveResult solve_adjoint(
+    const core::NdftSolver& solver, std::span<const std::complex<double>> h) {
+  CHRONOS_EXPECTS(h.size() == solver.matrix().rows(), "size mismatch");
+  core::SparseSolveResult out;
+  out.grid = solver.grid();
+  out.coefficients = solver.matrix().multiply_adjoint(h);
+  out.converged = true;
+  out.iterations = 1;
+  auto recon = solver.synthesize(out.coefficients);
+  for (std::size_t i = 0; i < recon.size(); ++i) recon[i] -= h[i];
+  out.residual_norm = mathx::norm2(recon);
+  return out;
+}
+
+}  // namespace chronos::baseline

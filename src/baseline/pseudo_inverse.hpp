@@ -1,0 +1,29 @@
+// Non-sparse inverse-NDFT baseline (ablation for paper §6).
+//
+// Without the L1 term the inverse NDFT is underdetermined; the canonical
+// closed-form answer is the minimum-L2-norm solution p = F^H (F F^H)^{-1} h,
+// equivalent (for unit-modulus rows) to the adjoint/matched-filter profile
+// up to a whitening factor. Its profile smears energy across the whole
+// grid — the contrast that motivates Algorithm 1's sparsity.
+#pragma once
+
+#include <complex>
+#include <span>
+#include <vector>
+
+#include "core/ndft.hpp"
+
+namespace chronos::baseline {
+
+/// Minimum-norm (least-squares) inverse of the NDFT: no sparsity prior.
+/// Returns coefficients over the same grid as `solver`.
+core::SparseSolveResult solve_min_norm(const core::NdftSolver& solver,
+                                       std::span<const std::complex<double>> h,
+                                       double regularization = 1e-6);
+
+/// Plain adjoint (matched-filter) profile |F^H h| — the "inverse Fourier
+/// transform" a non-sparse system would plot.
+core::SparseSolveResult solve_adjoint(const core::NdftSolver& solver,
+                                      std::span<const std::complex<double>> h);
+
+}  // namespace chronos::baseline

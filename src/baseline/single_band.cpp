@@ -1,0 +1,42 @@
+#include "baseline/single_band.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "core/crt.hpp"
+#include "mathx/constants.hpp"
+#include "mathx/contracts.hpp"
+
+namespace chronos::baseline {
+
+std::vector<double> single_band_candidates(std::complex<double> channel,
+                                           double freq_hz,
+                                           double max_distance_m) {
+  CHRONOS_EXPECTS(max_distance_m > 0.0, "max distance must be positive");
+  const auto taus = core::candidate_solutions(
+      channel, freq_hz, mathx::distance_to_tof(max_distance_m));
+  std::vector<double> distances;
+  distances.reserve(taus.size());
+  for (double tau : taus) distances.push_back(mathx::tof_to_distance(tau));
+  return distances;
+}
+
+double single_band_estimate_with_hint(std::complex<double> channel,
+                                      double freq_hz, double hint_m,
+                                      double max_distance_m) {
+  const auto candidates =
+      single_band_candidates(channel, freq_hz, max_distance_m);
+  CHRONOS_EXPECTS(!candidates.empty(), "no candidates in range");
+  double best = candidates.front();
+  double best_gap = std::numeric_limits<double>::infinity();
+  for (double c : candidates) {
+    const double gap = std::abs(c - hint_m);
+    if (gap < best_gap) {
+      best_gap = gap;
+      best = c;
+    }
+  }
+  return best;
+}
+
+}  // namespace chronos::baseline

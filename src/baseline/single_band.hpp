@@ -1,0 +1,27 @@
+// Single-band phase ranging baseline (paper §4, Eqn 3).
+//
+// One band's center-frequency phase pins the ToF only modulo 1/f — 0.4 ns
+// (12 cm) at 2.4 GHz — so a single-band phase range is hopelessly ambiguous
+// at room scale. The baseline quantifies that ambiguity and demonstrates
+// why Chronos must stitch bands.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+namespace chronos::baseline {
+
+/// All candidate distances consistent with the measured phase on a single
+/// band, up to `max_distance_m`.
+std::vector<double> single_band_candidates(std::complex<double> channel,
+                                           double freq_hz,
+                                           double max_distance_m);
+
+/// The estimate a single-band system would report given a (correct) coarse
+/// hint: the candidate closest to `hint_m`. The gap between this and the
+/// hint-free ambiguity is exactly what band stitching buys.
+double single_band_estimate_with_hint(std::complex<double> channel,
+                                      double freq_hz, double hint_m,
+                                      double max_distance_m);
+
+}  // namespace chronos::baseline

@@ -1,0 +1,23 @@
+// One-time hardware calibration (paper §7, observation 2).
+//
+// The reciprocity constant kappa and the chains' group delays add a
+// per-band phase that is constant for a given device pair. The paper
+// removes it "by measuring time-of-flight to a device at a known distance",
+// once. Given a sweep captured at a known separation, this module computes
+// the per-band unit-modulus correction that rotates each combined value
+// onto the phase an ideal direct-path channel would have.
+#pragma once
+
+#include "core/combining.hpp"
+#include "phy/csi.hpp"
+
+namespace chronos::core {
+
+/// Builds a calibration table from one or more sweeps measured at
+/// `known_distance_m` in a controlled (ideally reflection-free)
+/// environment. All sweeps must cover the same bands in the same order.
+CalibrationTable calibrate_from_sweeps(
+    const std::vector<phy::SweepMeasurement>& sweeps, double known_distance_m,
+    const CombiningConfig& config = {});
+
+}  // namespace chronos::core

@@ -1,0 +1,104 @@
+#include "core/localization.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "mathx/contracts.hpp"
+
+namespace chronos::core {
+
+std::vector<bool> reject_outliers(std::span<const geom::Vec2> anchors,
+                                  std::span<const double> distances,
+                                  double slack_m) {
+  CHRONOS_EXPECTS(anchors.size() == distances.size(),
+                  "anchors/distances size mismatch");
+  CHRONOS_EXPECTS(slack_m >= 0.0, "slack must be non-negative");
+  const std::size_t n = anchors.size();
+  std::vector<bool> used(n, true);
+
+  auto violation = [&](std::size_t i, std::size_t j) {
+    // |d_i - d_j| must not exceed the anchor separation (+ slack).
+    const double sep = geom::distance(anchors[i], anchors[j]);
+    const double diff = std::abs(distances[i] - distances[j]);
+    return std::max(0.0, diff - sep - slack_m);
+  };
+
+  while (true) {
+    std::size_t active = 0;
+    for (bool u : used) active += u ? 1 : 0;
+    if (active <= 2) break;
+
+    // Total violation charged to each active measurement.
+    std::vector<double> charge(n, 0.0);
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!used[i]) continue;
+      for (std::size_t j = i + 1; j < n; ++j) {
+        if (!used[j]) continue;
+        const double v = violation(i, j);
+        charge[i] += v;
+        charge[j] += v;
+        total += v;
+      }
+    }
+    if (total <= 0.0) break;  // geometry-consistent
+
+    const auto worst = static_cast<std::size_t>(std::distance(
+        charge.begin(), std::max_element(charge.begin(), charge.end())));
+    used[worst] = false;
+  }
+  return used;
+}
+
+LocalizationResult localize(std::span<const geom::Vec2> anchors,
+                            std::span<const double> distances,
+                            const LocalizerOptions& opts,
+                            const std::optional<geom::Vec2>& hint) {
+  CHRONOS_EXPECTS(anchors.size() == distances.size() && anchors.size() >= 2,
+                  "localization needs at least two anchor distances");
+  for (double d : distances)
+    CHRONOS_EXPECTS(d >= 0.0, "distances must be non-negative");
+
+  LocalizationResult out;
+  out.used = reject_outliers(anchors, distances, opts.geometry_slack_m);
+
+  std::vector<geom::RangeMeasurement> ranges;
+  for (std::size_t i = 0; i < anchors.size(); ++i) {
+    if (out.used[i]) ranges.push_back({anchors[i], distances[i]});
+  }
+  out.used_count = ranges.size();
+
+  if (ranges.size() >= 3) {
+    const auto fit = geom::trilaterate(ranges, opts.trilateration);
+    out.position = fit.position;
+    out.residual_rms_m = fit.residual_rms;
+    out.valid = true;
+    return out;
+  }
+
+  // Two anchors: disambiguate the mirror pair with the hint (§8).
+  const auto both =
+      geom::solve_both_sides(ranges[0], ranges[1], opts.trilateration);
+  const auto& a = both.first;
+  const auto& b = both.second;
+  if (hint) {
+    const double da = geom::distance(a.position, *hint);
+    const double db = geom::distance(b.position, *hint);
+    const auto& pick = (da <= db) ? a : b;
+    out.position = pick.position;
+    out.residual_rms_m = pick.residual_rms;
+  } else {
+    // Deterministic default: the solution on the positive cross side of
+    // the anchor baseline.
+    const geom::Vec2 axis = ranges[1].anchor - ranges[0].anchor;
+    const double cross_a = axis.cross(a.position - ranges[0].anchor);
+    const auto& pick = (cross_a >= 0.0) ? a : b;
+    out.position = pick.position;
+    out.residual_rms_m = pick.residual_rms;
+  }
+  out.valid = true;
+  return out;
+}
+
+}  // namespace chronos::core

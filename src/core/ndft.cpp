@@ -1,0 +1,349 @@
+#include "core/ndft.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mathx/constants.hpp"
+#include "mathx/contracts.hpp"
+#include "mathx/cvec.hpp"
+
+namespace chronos::core {
+
+std::size_t DelayGrid::size() const {
+  CHRONOS_EXPECTS(max_s > min_s && step_s > 0.0, "bad delay grid");
+  return static_cast<std::size_t>((max_s - min_s) / step_s) + 1;
+}
+
+double DelayGrid::delay_at(std::size_t i) const {
+  return min_s + static_cast<double>(i) * step_s;
+}
+
+NdftSolver::NdftSolver(std::vector<double> row_freqs_hz, DelayGrid grid,
+                       std::vector<double> row_weights)
+    : row_freqs_hz_(std::move(row_freqs_hz)),
+      grid_(grid),
+      row_weights_(std::move(row_weights)) {
+  CHRONOS_EXPECTS(!row_freqs_hz_.empty(), "need at least one row frequency");
+  if (row_weights_.empty()) {
+    row_weights_.assign(row_freqs_hz_.size(), 1.0);
+  }
+  CHRONOS_EXPECTS(row_weights_.size() == row_freqs_hz_.size(),
+                  "row weight count must match row count");
+  for (double w : row_weights_)
+    CHRONOS_EXPECTS(w >= 0.0, "row weights must be non-negative");
+
+  const std::size_t n = row_freqs_hz_.size();
+  const std::size_t m = grid_.size();
+  f_ = mathx::ComplexMatrix(n, m);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Row entries are a geometric sequence in the column index:
+    // e^{-j2pi f (tau0 + k step)} = e^{-j2pi f tau0} * (e^{-j2pi f step})^k.
+    const std::complex<double> start =
+        row_weights_[i] *
+        std::polar(1.0, -mathx::kTwoPi * row_freqs_hz_[i] * grid_.min_s);
+    const std::complex<double> ratio =
+        std::polar(1.0, -mathx::kTwoPi * row_freqs_hz_[i] * grid_.step_s);
+    std::complex<double> cur = start;
+    auto row = f_.row(i);
+    for (std::size_t k = 0; k < m; ++k) {
+      row[k] = cur;
+      cur *= ratio;
+      // Renormalise periodically: the recurrence drifts in magnitude by
+      // ~1 ulp per step, which matters over thousands of columns.
+      if ((k & 0x3FF) == 0x3FF) {
+        const double mag = std::abs(cur);
+        if (mag > 0.0) cur *= row_weights_[i] / mag;
+      }
+    }
+  }
+  const double sigma = mathx::spectral_norm(f_);
+  CHRONOS_ENSURES(sigma > 0.0, "NDFT matrix has zero spectral norm");
+  gamma_ = 1.0 / (sigma * sigma);
+}
+
+void NdftSolver::sparsify(std::span<std::complex<double>> p,
+                          double threshold) {
+  CHRONOS_EXPECTS(threshold >= 0.0, "negative soft threshold");
+  for (auto& v : p) {
+    const double mag = std::abs(v);
+    if (mag < threshold) {
+      v = {0.0, 0.0};
+    } else {
+      v *= (mag - threshold) / mag;
+    }
+  }
+}
+
+double NdftSolver::effective_alpha(std::span<const std::complex<double>> h,
+                                   const IstaOptions& opts) const {
+  CHRONOS_EXPECTS(opts.alpha > 0.0, "alpha must be positive");
+  if (!opts.relative_alpha) return opts.alpha;
+  // Scale-free knob: alpha relative to the strongest matched-filter
+  // response max|F^H h| (the largest gradient magnitude at p = 0).
+  const auto mf = f_.multiply_adjoint(h);
+  double peak = 0.0;
+  for (const auto& v : mf) peak = std::max(peak, std::abs(v));
+  CHRONOS_EXPECTS(peak > 0.0, "input channel vector is all zero");
+  return opts.alpha * peak;
+}
+
+std::vector<std::complex<double>> NdftSolver::synthesize(
+    std::span<const std::complex<double>> p) const {
+  return f_.multiply(p);
+}
+
+std::vector<std::complex<double>> NdftSolver::apply_weights(
+    std::span<const std::complex<double>> h) const {
+  CHRONOS_EXPECTS(h.size() == row_weights_.size(),
+                  "weight application size mismatch");
+  std::vector<std::complex<double>> out(h.size());
+  for (std::size_t i = 0; i < h.size(); ++i) out[i] = row_weights_[i] * h[i];
+  return out;
+}
+
+double NdftSolver::matched_filter(std::span<const std::complex<double>> h,
+                                  double delay_s) const {
+  CHRONOS_EXPECTS(h.size() == f_.rows(), "channel vector/row count mismatch");
+  std::complex<double> acc{0.0, 0.0};
+  for (std::size_t i = 0; i < h.size(); ++i) {
+    acc += h[i] * std::polar(1.0, mathx::kTwoPi * row_freqs_hz_[i] * delay_s);
+  }
+  return std::abs(acc);
+}
+
+double NdftSolver::refine_delay(std::span<const std::complex<double>> h,
+                                double coarse_delay_s,
+                                double half_width_s) const {
+  CHRONOS_EXPECTS(half_width_s > 0.0, "refinement window must be positive");
+  // The matched filter oscillates with ~0.2 ns sidelobes, so a plain
+  // ternary search is not safe over the whole window: first scan finely to
+  // land on the mainlobe, then ternary-search the winning sub-interval.
+  const double lo0 = coarse_delay_s - half_width_s;
+  const double hi0 = coarse_delay_s + half_width_s;
+  constexpr int kScanPoints = 61;
+  const double scan_step = (hi0 - lo0) / (kScanPoints - 1);
+  double best_u = coarse_delay_s;
+  double best_mf = -1.0;
+  for (int i = 0; i < kScanPoints; ++i) {
+    const double u = lo0 + scan_step * i;
+    const double mf = matched_filter(h, u);
+    if (mf > best_mf) {
+      best_mf = mf;
+      best_u = u;
+    }
+  }
+  double lo = best_u - scan_step;
+  double hi = best_u + scan_step;
+  for (int it = 0; it < 50; ++it) {
+    const double m1 = lo + (hi - lo) / 3.0;
+    const double m2 = hi - (hi - lo) / 3.0;
+    if (matched_filter(h, m1) < matched_filter(h, m2)) {
+      lo = m1;
+    } else {
+      hi = m2;
+    }
+  }
+  return (lo + hi) / 2.0;
+}
+
+SparseSolveResult NdftSolver::solve_ista(
+    std::span<const std::complex<double>> h, const IstaOptions& opts) const {
+  CHRONOS_EXPECTS(h.size() == f_.rows(), "channel vector/row count mismatch");
+  const double alpha = effective_alpha(h, opts);
+  const double h_norm = mathx::norm2(h);
+  const double tol = opts.epsilon * std::max(h_norm, 1e-30);
+
+  SparseSolveResult out;
+  out.grid = grid_;
+  std::vector<std::complex<double>> p(grid_.size(), {0.0, 0.0});
+  std::vector<std::complex<double>> p_next(grid_.size());
+
+  for (int t = 0; t < opts.max_iterations; ++t) {
+    // Gradient step on ||h - F p||^2: p - gamma * F^H (F p - h).
+    auto fp = f_.multiply(p);
+    for (std::size_t i = 0; i < fp.size(); ++i) fp[i] -= h[i];
+    const auto grad = f_.multiply_adjoint(fp);
+    for (std::size_t k = 0; k < p.size(); ++k) {
+      p_next[k] = p[k] - gamma_ * grad[k];
+    }
+    sparsify(p_next, gamma_ * alpha);
+
+    // ||p_{t+1} - p_t||_2 convergence check (paper's epsilon test).
+    double diff_sq = 0.0;
+    for (std::size_t k = 0; k < p.size(); ++k) {
+      diff_sq += std::norm(p_next[k] - p[k]);
+    }
+    p.swap(p_next);
+    out.iterations = t + 1;
+    if (std::sqrt(diff_sq) < tol) {
+      out.converged = true;
+      break;
+    }
+  }
+
+  auto residual = f_.multiply(p);
+  for (std::size_t i = 0; i < residual.size(); ++i) residual[i] -= h[i];
+  out.residual_norm = mathx::norm2(residual);
+  out.coefficients = std::move(p);
+  return out;
+}
+
+SparseSolveResult NdftSolver::solve_fista(
+    std::span<const std::complex<double>> h, const IstaOptions& opts) const {
+  CHRONOS_EXPECTS(h.size() == f_.rows(), "channel vector/row count mismatch");
+  const double alpha = effective_alpha(h, opts);
+  const double h_norm = mathx::norm2(h);
+  const double tol = opts.epsilon * std::max(h_norm, 1e-30);
+
+  SparseSolveResult out;
+  out.grid = grid_;
+  const std::size_t m = grid_.size();
+  std::vector<std::complex<double>> p(m, {0.0, 0.0});
+  std::vector<std::complex<double>> y = p;  // extrapolated point
+  std::vector<std::complex<double>> p_prev = p;
+  double t_momentum = 1.0;
+
+  for (int t = 0; t < opts.max_iterations; ++t) {
+    auto fy = f_.multiply(y);
+    for (std::size_t i = 0; i < fy.size(); ++i) fy[i] -= h[i];
+    const auto grad = f_.multiply_adjoint(fy);
+
+    p_prev.swap(p);
+    for (std::size_t k = 0; k < m; ++k) p[k] = y[k] - gamma_ * grad[k];
+    sparsify(p, gamma_ * alpha);
+
+    const double t_next = (1.0 + std::sqrt(1.0 + 4.0 * t_momentum * t_momentum)) / 2.0;
+    const double beta = (t_momentum - 1.0) / t_next;
+    double diff_sq = 0.0;
+    for (std::size_t k = 0; k < m; ++k) {
+      const std::complex<double> step = p[k] - p_prev[k];
+      y[k] = p[k] + beta * step;
+      diff_sq += std::norm(step);
+    }
+    t_momentum = t_next;
+
+    out.iterations = t + 1;
+    if (std::sqrt(diff_sq) < tol) {
+      out.converged = true;
+      break;
+    }
+  }
+
+  auto residual = f_.multiply(p);
+  for (std::size_t i = 0; i < residual.size(); ++i) residual[i] -= h[i];
+  out.residual_norm = mathx::norm2(residual);
+  out.coefficients = std::move(p);
+  return out;
+}
+
+namespace {
+
+/// Solves the small dense complex system A x = b (Gaussian elimination with
+/// partial pivoting); used for OMP's least-squares on the active set.
+std::vector<std::complex<double>> solve_complex_linear(
+    mathx::ComplexMatrix a, std::vector<std::complex<double>> b) {
+  const std::size_t n = a.rows();
+  CHRONOS_EXPECTS(a.cols() == n && b.size() == n,
+                  "complex solve needs square system");
+  for (std::size_t k = 0; k < n; ++k) {
+    std::size_t pivot = k;
+    double best = std::abs(a(k, k));
+    for (std::size_t i = k + 1; i < n; ++i) {
+      if (std::abs(a(i, k)) > best) {
+        best = std::abs(a(i, k));
+        pivot = i;
+      }
+    }
+    CHRONOS_EXPECTS(best > 1e-14, "singular system in OMP least squares");
+    if (pivot != k) {
+      for (std::size_t j = 0; j < n; ++j) std::swap(a(k, j), a(pivot, j));
+      std::swap(b[k], b[pivot]);
+    }
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const std::complex<double> factor = a(i, k) / a(k, k);
+      if (factor == std::complex<double>{}) continue;
+      for (std::size_t j = k; j < n; ++j) a(i, j) -= factor * a(k, j);
+      b[i] -= factor * b[k];
+    }
+  }
+  std::vector<std::complex<double>> x(n);
+  for (std::size_t k = n; k-- > 0;) {
+    std::complex<double> acc = b[k];
+    for (std::size_t j = k + 1; j < n; ++j) acc -= a(k, j) * x[j];
+    x[k] = acc / a(k, k);
+  }
+  return x;
+}
+
+}  // namespace
+
+SparseSolveResult NdftSolver::solve_omp(
+    std::span<const std::complex<double>> h, std::size_t max_paths) const {
+  CHRONOS_EXPECTS(h.size() == f_.rows(), "channel vector/row count mismatch");
+  CHRONOS_EXPECTS(max_paths >= 1 && max_paths <= f_.rows(),
+                  "OMP path count must be in [1, rows]");
+
+  SparseSolveResult out;
+  out.grid = grid_;
+  out.coefficients.assign(grid_.size(), {0.0, 0.0});
+
+  std::vector<std::size_t> support;
+  std::vector<std::complex<double>> residual(h.begin(), h.end());
+  std::vector<std::complex<double>> amplitudes;
+
+  for (std::size_t it = 0; it < max_paths; ++it) {
+    // Atom most correlated with the residual.
+    const auto corr = f_.multiply_adjoint(residual);
+    std::size_t best_k = 0;
+    double best_mag = -1.0;
+    for (std::size_t k = 0; k < corr.size(); ++k) {
+      const double mag = std::abs(corr[k]);
+      if (mag > best_mag &&
+          std::find(support.begin(), support.end(), k) == support.end()) {
+        best_mag = mag;
+        best_k = k;
+      }
+    }
+    if (best_mag <= 1e-12) break;
+    support.push_back(best_k);
+
+    // Least squares on the active set via normal equations G a = c with
+    // G = Fs^H Fs, c = Fs^H h.
+    const std::size_t s = support.size();
+    mathx::ComplexMatrix gram(s, s);
+    std::vector<std::complex<double>> rhs(s);
+    for (std::size_t a_i = 0; a_i < s; ++a_i) {
+      for (std::size_t b_i = 0; b_i < s; ++b_i) {
+        std::complex<double> acc{0.0, 0.0};
+        for (std::size_t r = 0; r < f_.rows(); ++r) {
+          acc += std::conj(f_(r, support[a_i])) * f_(r, support[b_i]);
+        }
+        gram(a_i, b_i) = acc;
+      }
+      std::complex<double> acc{0.0, 0.0};
+      for (std::size_t r = 0; r < f_.rows(); ++r) {
+        acc += std::conj(f_(r, support[a_i])) * h[r];
+      }
+      rhs[a_i] = acc;
+    }
+    amplitudes = solve_complex_linear(std::move(gram), std::move(rhs));
+
+    // Update residual r = h - Fs a.
+    residual.assign(h.begin(), h.end());
+    for (std::size_t r = 0; r < f_.rows(); ++r) {
+      for (std::size_t a_i = 0; a_i < s; ++a_i) {
+        residual[r] -= f_(r, support[a_i]) * amplitudes[a_i];
+      }
+    }
+    out.iterations = static_cast<int>(it + 1);
+  }
+
+  for (std::size_t a_i = 0; a_i < support.size(); ++a_i) {
+    out.coefficients[support[a_i]] = amplitudes[a_i];
+  }
+  out.converged = true;
+  out.residual_norm = mathx::norm2(residual);
+  return out;
+}
+
+}  // namespace chronos::core

@@ -1,0 +1,53 @@
+#include "core/subcarrier_interp.hpp"
+
+#include <cmath>
+
+#include "mathx/constants.hpp"
+#include "mathx/contracts.hpp"
+#include "mathx/cvec.hpp"
+#include "mathx/spline.hpp"
+#include "mathx/unwrap.hpp"
+
+namespace chronos::core {
+
+InterpolationResult interpolate_to_center(const phy::CsiMeasurement& m) {
+  const auto indices = phy::intel5300_subcarrier_indices();
+  CHRONOS_EXPECTS(m.values.size() == indices.size(),
+                  "CSI must cover the 30 reported subcarriers");
+
+  // Knots: subcarrier frequency offsets (strictly increasing by layout).
+  std::vector<double> x(indices.size());
+  for (std::size_t k = 0; k < indices.size(); ++k) {
+    x[k] = phy::subcarrier_offset_hz(indices[k]);
+  }
+
+  const auto raw_phases = mathx::angles(m.values);
+  const auto phases = mathx::unwrap(raw_phases);
+  const auto mags = mathx::magnitudes(m.values);
+
+  const mathx::CubicSpline phase_spline(x, phases);
+  const mathx::CubicSpline mag_spline(x, mags);
+
+  const double phase0 = phase_spline(0.0);
+  const double mag0 = std::max(mag_spline(0.0), 0.0);
+
+  InterpolationResult out;
+  out.zero_subcarrier = std::polar(mag0, phase0);
+
+  // Least-squares line fit of unwrapped phase vs offset: slope = -2*pi*toa.
+  const auto n = static_cast<double>(x.size());
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+  for (std::size_t k = 0; k < x.size(); ++k) {
+    sx += x[k];
+    sy += phases[k];
+    sxx += x[k] * x[k];
+    sxy += x[k] * phases[k];
+  }
+  const double denom = n * sxx - sx * sx;
+  CHRONOS_ENSURES(std::abs(denom) > 0.0, "degenerate subcarrier layout");
+  const double slope = (n * sxy - sx * sy) / denom;
+  out.toa_slope_s = -slope / mathx::kTwoPi;
+  return out;
+}
+
+}  // namespace chronos::core

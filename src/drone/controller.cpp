@@ -1,0 +1,43 @@
+#include "drone/controller.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "mathx/contracts.hpp"
+#include "mathx/stats.hpp"
+
+namespace chronos::drone {
+
+std::optional<double> RangeFilter::push(double range_m) {
+  CHRONOS_EXPECTS(range_m >= 0.0, "negative range");
+  window_.push_back(range_m);
+  while (window_.size() > config_.filter_window) window_.pop_front();
+  if (window_.size() < 3) return std::nullopt;
+
+  std::vector<double> samples(window_.begin(), window_.end());
+  const double med = mathx::median(samples);
+
+  // Trim outliers relative to the median, then average the survivors.
+  double acc = 0.0;
+  std::size_t n = 0;
+  for (double s : samples) {
+    if (std::abs(s - med) <= config_.outlier_cutoff_m) {
+      acc += s;
+      ++n;
+    }
+  }
+  if (n == 0) return med;
+  return acc / static_cast<double>(n);
+}
+
+double control_step(const ControllerConfig& config,
+                    double measured_distance_m) {
+  CHRONOS_EXPECTS(measured_distance_m >= 0.0, "negative distance");
+  // Positive error = too far -> move toward the user.
+  const double error = measured_distance_m - config.target_distance_m;
+  const double step = config.gain * error;
+  return std::clamp(step, -config.max_step_m, config.max_step_m);
+}
+
+}  // namespace chronos::drone

@@ -1,0 +1,53 @@
+// Negative-feedback distance controller (paper §9).
+//
+// The drone measures its distance to the user's device with Chronos and
+// takes a discrete step toward/away from the user to hold the target
+// distance. Repeated ranging lets the controller average measurements and
+// reject outliers, which is why the drone holds distance to ~4 cm even
+// though a single Chronos range is good to ~15 cm (§12.4).
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <optional>
+
+#include "geom/vec2.hpp"
+
+namespace chronos::drone {
+
+struct ControllerConfig {
+  double target_distance_m = 1.4;
+  /// Proportional gain on the distance error per control step.
+  double gain = 0.9;
+  /// Maximum step per control period (actuation limit).
+  double max_step_m = 0.35;
+  /// Distance measurements averaged per control decision. The median over
+  /// this window implements the outlier rejection of §9.
+  std::size_t filter_window = 5;
+  /// Measurements farther than this from the window median are discarded
+  /// before averaging.
+  double outlier_cutoff_m = 0.4;
+};
+
+/// Median+trim filter over a sliding window of range measurements.
+class RangeFilter {
+ public:
+  explicit RangeFilter(const ControllerConfig& config) : config_(config) {}
+
+  /// Adds a measurement; returns the filtered estimate once the window has
+  /// at least three samples (nullopt before that).
+  std::optional<double> push(double range_m);
+
+  void reset() { window_.clear(); }
+  std::size_t size() const { return window_.size(); }
+
+ private:
+  ControllerConfig config_;
+  std::deque<double> window_;
+};
+
+/// One control decision: how far to move along the drone->user direction
+/// (positive = toward the user) given the filtered distance.
+double control_step(const ControllerConfig& config, double measured_distance_m);
+
+}  // namespace chronos::drone

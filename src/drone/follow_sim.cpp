@@ -1,0 +1,80 @@
+#include "drone/follow_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mathx/contracts.hpp"
+#include "mathx/stats.hpp"
+#include "sim/environment.hpp"
+
+namespace chronos::drone {
+
+FollowRunResult run_follow_simulation(const FollowSimConfig& config,
+                                      core::ChronosEngine& engine,
+                                      mathx::Rng& rng) {
+  CHRONOS_EXPECTS(config.measurement_rate_hz > 0.0, "rate must be positive");
+  CHRONOS_EXPECTS(config.duration_s > 0.0, "duration must be positive");
+
+  const double dt = 1.0 / config.measurement_rate_hz;
+
+  // The user walks; the drone starts at the target distance to its side.
+  WaypointWalk walk(6.0, 5.0, config.user_waypoints, config.user_speed_mps,
+                    rng);
+  geom::Vec2 drone_pos =
+      walk.position_at(0.0) + geom::Vec2{config.controller.target_distance_m, 0.0};
+
+  RangeFilter filter(config.controller);
+  FollowRunResult out;
+
+  for (double t = 0.0; t < config.duration_s; t += dt) {
+    const geom::Vec2 user_pos = walk.position_at(t);
+
+    // Chronos measurement between the user's device and the drone's radio.
+    const sim::Device user_dev = sim::make_mobile(user_pos, 31);
+    const sim::Device drone_dev = sim::make_mobile(drone_pos, 32);
+    const auto range = engine.measure_distance(user_dev, 0, drone_dev, 0, rng);
+
+    const auto filtered = filter.push(range.distance_m);
+    const double measured =
+        filtered.value_or(config.controller.target_distance_m);
+
+    // Camera-facing heading comes from the compasses (§12.4); range
+    // control acts along the drone->user direction.
+    const geom::Vec2 to_user = (user_pos - drone_pos).normalized();
+    const double step = control_step(config.controller, measured);
+    const double max_move = config.drone_max_speed_mps * dt;
+    const double move = std::clamp(step, -max_move, max_move);
+    drone_pos += to_user * move;
+
+    FollowSample s;
+    s.t_s = t;
+    s.user = user_pos;
+    s.drone = drone_pos;
+    s.true_distance_m = geom::distance(user_pos, drone_pos);
+    s.measured_distance_m = measured;
+    out.trace.push_back(s);
+
+    // Skip the convergence transient (first two seconds) in the metric.
+    if (t >= 2.0) {
+      out.distance_deviation_m.push_back(
+          std::abs(s.true_distance_m - config.controller.target_distance_m));
+    }
+  }
+
+  if (!out.distance_deviation_m.empty()) {
+    out.rms_deviation_m = mathx::rms(out.distance_deviation_m);
+  }
+  return out;
+}
+
+FollowRunResult run_follow_simulation(const FollowSimConfig& config,
+                                      mathx::Rng& rng) {
+  core::EngineConfig ec;
+  core::ChronosEngine engine(sim::drone_room_6x5(), ec);
+  const sim::Device user = sim::make_mobile({0.0, 0.0}, 31);
+  const sim::Device drone = sim::make_mobile({1.0, 0.0}, 32);
+  engine.calibrate(user, drone, rng);
+  return run_follow_simulation(config, engine, rng);
+}
+
+}  // namespace chronos::drone

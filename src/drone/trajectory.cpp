@@ -1,0 +1,40 @@
+#include "drone/trajectory.hpp"
+
+#include "mathx/contracts.hpp"
+
+namespace chronos::drone {
+
+WaypointWalk::WaypointWalk(double room_w_m, double room_h_m,
+                           std::size_t n_waypoints, double speed_mps,
+                           mathx::Rng& rng, double margin_m)
+    : speed_mps_(speed_mps) {
+  CHRONOS_EXPECTS(n_waypoints >= 2, "walk needs at least two waypoints");
+  CHRONOS_EXPECTS(speed_mps > 0.0, "speed must be positive");
+  CHRONOS_EXPECTS(room_w_m > 2.0 * margin_m && room_h_m > 2.0 * margin_m,
+                  "room too small for the margin");
+
+  for (std::size_t i = 0; i < n_waypoints; ++i) {
+    waypoints_.push_back({rng.uniform(margin_m, room_w_m - margin_m),
+                          rng.uniform(margin_m, room_h_m - margin_m)});
+  }
+  arrival_times_.resize(n_waypoints, 0.0);
+  for (std::size_t i = 1; i < n_waypoints; ++i) {
+    arrival_times_[i] =
+        arrival_times_[i - 1] +
+        geom::distance(waypoints_[i - 1], waypoints_[i]) / speed_mps_;
+  }
+}
+
+geom::Vec2 WaypointWalk::position_at(double t_s) const {
+  if (t_s <= 0.0) return waypoints_.front();
+  if (t_s >= arrival_times_.back()) return waypoints_.back();
+  std::size_t i = 1;
+  while (arrival_times_[i] < t_s) ++i;
+  const double seg = arrival_times_[i] - arrival_times_[i - 1];
+  const double frac = seg > 0.0 ? (t_s - arrival_times_[i - 1]) / seg : 1.0;
+  return waypoints_[i - 1] + (waypoints_[i] - waypoints_[i - 1]) * frac;
+}
+
+double WaypointWalk::duration_s() const { return arrival_times_.back(); }
+
+}  // namespace chronos::drone

@@ -1,0 +1,33 @@
+// User walking trajectories for the personal-drone experiments (§12.4).
+#pragma once
+
+#include <vector>
+
+#include "geom/vec2.hpp"
+#include "mathx/rng.hpp"
+
+namespace chronos::drone {
+
+/// Piecewise-linear waypoint walk inside a rectangular room.
+class WaypointWalk {
+ public:
+  /// Generates `n_waypoints` random waypoints inside [margin, w-margin] x
+  /// [margin, h-margin], walked at `speed_mps`.
+  WaypointWalk(double room_w_m, double room_h_m, std::size_t n_waypoints,
+               double speed_mps, mathx::Rng& rng, double margin_m = 0.8);
+
+  /// Position at time t (clamped to the final waypoint after the walk ends).
+  geom::Vec2 position_at(double t_s) const;
+
+  /// Total walk duration.
+  double duration_s() const;
+
+  const std::vector<geom::Vec2>& waypoints() const { return waypoints_; }
+
+ private:
+  std::vector<geom::Vec2> waypoints_;
+  std::vector<double> arrival_times_;
+  double speed_mps_;
+};
+
+}  // namespace chronos::drone

@@ -1,0 +1,136 @@
+#include "geom/image_source.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mathx/contracts.hpp"
+
+namespace chronos::geom {
+
+Vec2 mirror_across(const Wall& w, const Vec2& p) {
+  const Vec2 d = (w.b - w.a).normalized();
+  const Vec2 rel = p - w.a;
+  const Vec2 along = d * rel.dot(d);
+  const Vec2 perp = rel - along;
+  return w.a + along - perp;
+}
+
+std::optional<Vec2> segment_intersection(const Vec2& p, const Vec2& q,
+                                         const Wall& w) {
+  const Vec2 r = q - p;
+  const Vec2 s = w.b - w.a;
+  const double denom = r.cross(s);
+  if (std::abs(denom) < 1e-15) return std::nullopt;  // parallel
+  const Vec2 diff = w.a - p;
+  const double t = diff.cross(s) / denom;
+  const double u = diff.cross(r) / denom;
+  // Strict interior on the path side; small epsilon keeps endpoint grazes out.
+  constexpr double eps = 1e-9;
+  if (t <= eps || t >= 1.0 - eps || u < -eps || u > 1.0 + eps)
+    return std::nullopt;
+  return p + r * t;
+}
+
+namespace {
+
+// Transmission attenuation through blockers along segment p->q.
+double blocker_attenuation(const Vec2& p, const Vec2& q,
+                           const std::vector<Wall>& blockers) {
+  double atten = 1.0;
+  for (const Wall& blk : blockers) {
+    if (segment_intersection(p, q, blk)) atten *= blk.reflectivity;
+  }
+  return atten;
+}
+
+// Builds a path reflecting off the ordered wall sequence, validating each
+// specular point. Returns nullopt if geometry is infeasible.
+std::optional<PropagationPath> reflect_path(
+    const Vec2& tx, const Vec2& rx, const std::vector<Wall>& walls,
+    const std::vector<std::size_t>& order, const std::vector<Wall>& blockers) {
+  // Mirror the transmitter through the wall sequence.
+  std::vector<Vec2> images;
+  images.reserve(order.size() + 1);
+  images.push_back(tx);
+  for (std::size_t wi : order)
+    images.push_back(mirror_across(walls[wi], images.back()));
+
+  // Walk backwards from the receiver, finding each specular point.
+  std::vector<Vec2> vertices(order.size() + 2);
+  vertices.back() = rx;
+  Vec2 target = rx;
+  for (std::size_t k = order.size(); k-- > 0;) {
+    const Wall& w = walls[order[k]];
+    const auto hit = segment_intersection(images[k + 1], target, w);
+    if (!hit) return std::nullopt;
+    vertices[k + 1] = *hit;
+    target = *hit;
+  }
+  vertices.front() = tx;
+
+  PropagationPath path;
+  path.bounces = static_cast<int>(order.size());
+  for (std::size_t wi : order) path.reflection_loss *= walls[wi].reflectivity;
+  for (std::size_t i = 0; i + 1 < vertices.size(); ++i) {
+    path.length += distance(vertices[i], vertices[i + 1]);
+    path.reflection_loss *=
+        blocker_attenuation(vertices[i], vertices[i + 1], blockers);
+  }
+  return path;
+}
+
+}  // namespace
+
+std::vector<PropagationPath> enumerate_paths(const Vec2& tx, const Vec2& rx,
+                                             const std::vector<Wall>& walls,
+                                             const std::vector<Wall>& blockers,
+                                             int max_order) {
+  CHRONOS_EXPECTS(max_order >= 0 && max_order <= 3,
+                  "image-source supports orders 0..3");
+  std::vector<PropagationPath> paths;
+
+  // Direct path.
+  PropagationPath direct;
+  direct.length = distance(tx, rx);
+  direct.reflection_loss = blocker_attenuation(tx, rx, blockers);
+  direct.bounces = 0;
+  paths.push_back(direct);
+
+  if (max_order >= 1) {
+    for (std::size_t i = 0; i < walls.size(); ++i) {
+      if (auto p = reflect_path(tx, rx, walls, {i}, blockers)) {
+        paths.push_back(*p);
+      }
+    }
+  }
+  if (max_order >= 2) {
+    for (std::size_t i = 0; i < walls.size(); ++i) {
+      for (std::size_t j = 0; j < walls.size(); ++j) {
+        if (i == j) continue;
+        if (auto p = reflect_path(tx, rx, walls, {i, j}, blockers)) {
+          paths.push_back(*p);
+        }
+      }
+    }
+  }
+  if (max_order >= 3) {
+    for (std::size_t i = 0; i < walls.size(); ++i) {
+      for (std::size_t j = 0; j < walls.size(); ++j) {
+        for (std::size_t k = 0; k < walls.size(); ++k) {
+          if (i == j || j == k) continue;
+          if (auto p = reflect_path(tx, rx, walls, {i, j, k}, blockers)) {
+            paths.push_back(*p);
+          }
+        }
+      }
+    }
+  }
+
+  std::sort(paths.begin(), paths.end(),
+            [](const PropagationPath& a, const PropagationPath& b) {
+              return a.length < b.length;
+            });
+  return paths;
+}
+
+}  // namespace chronos::geom

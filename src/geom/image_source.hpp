@@ -1,0 +1,53 @@
+// Image-source method for indoor multipath enumeration.
+//
+// Indoor Wi-Fi signals reach the receiver via the direct path plus specular
+// reflections off walls and furniture (paper §6, Fig 4). The image-source
+// method models a first-order reflection off a wall segment as a straight
+// path from the transmitter's mirror image across that wall; higher orders
+// mirror recursively. Each found path yields a propagation delay and a
+// geometric attenuation — exactly the (a_k, tau_k) pairs of Eqn. 7.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "geom/vec2.hpp"
+
+namespace chronos::geom {
+
+/// A reflecting wall segment with a power reflection coefficient in [0, 1]
+/// (fraction of incident power that survives the bounce).
+struct Wall {
+  Vec2 a;
+  Vec2 b;
+  double reflectivity = 0.6;
+};
+
+/// One propagation path between transmitter and receiver.
+struct PropagationPath {
+  double length = 0.0;        ///< total geometric length [m]
+  double reflection_loss = 1.0;  ///< product of wall reflectivities (power)
+  int bounces = 0;            ///< 0 = direct path
+};
+
+/// Mirrors point p across the infinite line through the wall segment.
+Vec2 mirror_across(const Wall& w, const Vec2& p);
+
+/// Intersection parameter of segment p->q with wall segment w, if the
+/// crossing lies strictly inside both segments. Returns the point.
+std::optional<Vec2> segment_intersection(const Vec2& p, const Vec2& q,
+                                         const Wall& w);
+
+/// Enumerates propagation paths from tx to rx: the direct path plus all
+/// first-order (and optionally second-order) specular reflections off the
+/// given walls. Reflection validity is checked geometrically (the mirror
+/// path must actually cross the mirroring wall segment).
+///
+/// `blockers` are non-reflecting obstacles (e.g. an interior wall creating
+/// NLOS): any path crossing a blocker is attenuated by the blocker's
+/// `reflectivity` interpreted as a *transmission* coefficient instead.
+std::vector<PropagationPath> enumerate_paths(
+    const Vec2& tx, const Vec2& rx, const std::vector<Wall>& walls,
+    const std::vector<Wall>& blockers = {}, int max_order = 2);
+
+}  // namespace chronos::geom

@@ -1,0 +1,52 @@
+// 2-D vector/point primitives.
+//
+// Chronos's evaluation happens on a floor plan (20 m x 20 m office, 6 m x 5 m
+// drone room); all geometry — antenna placement, multipath ray images,
+// trilateration — is 2-D.
+#pragma once
+
+#include <cmath>
+
+namespace chronos::geom {
+
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Vec2 operator+(const Vec2& o) const { return {x + o.x, y + o.y}; }
+  constexpr Vec2 operator-(const Vec2& o) const { return {x - o.x, y - o.y}; }
+  constexpr Vec2 operator*(double s) const { return {x * s, y * s}; }
+  constexpr Vec2 operator/(double s) const { return {x / s, y / s}; }
+  constexpr Vec2& operator+=(const Vec2& o) {
+    x += o.x;
+    y += o.y;
+    return *this;
+  }
+  constexpr Vec2& operator-=(const Vec2& o) {
+    x -= o.x;
+    y -= o.y;
+    return *this;
+  }
+
+  constexpr double dot(const Vec2& o) const { return x * o.x + y * o.y; }
+  /// z-component of the 3-D cross product; sign gives orientation.
+  constexpr double cross(const Vec2& o) const { return x * o.y - y * o.x; }
+  double norm() const { return std::hypot(x, y); }
+  constexpr double norm_sq() const { return x * x + y * y; }
+
+  /// Unit vector in the same direction; the zero vector maps to itself.
+  Vec2 normalized() const {
+    const double n = norm();
+    return n > 0.0 ? Vec2{x / n, y / n} : Vec2{};
+  }
+};
+
+constexpr Vec2 operator*(double s, const Vec2& v) { return v * s; }
+
+inline double distance(const Vec2& a, const Vec2& b) { return (a - b).norm(); }
+
+inline bool almost_equal(const Vec2& a, const Vec2& b, double tol = 1e-9) {
+  return distance(a, b) <= tol;
+}
+
+}  // namespace chronos::geom

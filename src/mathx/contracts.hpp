@@ -1,0 +1,46 @@
+// Lightweight contract checking in the spirit of the C++ Core Guidelines
+// (I.6 "Prefer Expects() for expressing preconditions", E.12).
+//
+// CHRONOS_EXPECTS guards preconditions at public API boundaries and throws
+// std::invalid_argument so callers can react; CHRONOS_ENSURES guards
+// postconditions / internal invariants and throws std::logic_error because a
+// violation is a bug in this library, not in the caller.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace chronos::mathx::detail {
+
+[[noreturn]] inline void throw_precondition(const char* expr, const char* file,
+                                            int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "precondition failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::invalid_argument(os.str());
+}
+
+[[noreturn]] inline void throw_postcondition(const char* expr, const char* file,
+                                             int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "postcondition failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace chronos::mathx::detail
+
+#define CHRONOS_EXPECTS(cond, msg)                                          \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::chronos::mathx::detail::throw_precondition(#cond, __FILE__,         \
+                                                   __LINE__, (msg));        \
+  } while (false)
+
+#define CHRONOS_ENSURES(cond, msg)                                          \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::chronos::mathx::detail::throw_postcondition(#cond, __FILE__,        \
+                                                    __LINE__, (msg));       \
+  } while (false)

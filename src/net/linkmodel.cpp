@@ -1,0 +1,27 @@
+#include "net/linkmodel.hpp"
+
+#include "mathx/contracts.hpp"
+
+namespace chronos::net {
+
+LinkModel::LinkModel(double capacity_bps) : capacity_bps_(capacity_bps) {
+  CHRONOS_EXPECTS(capacity_bps > 0.0, "link capacity must be positive");
+}
+
+void LinkModel::add_outage(const Outage& outage) {
+  CHRONOS_EXPECTS(outage.duration_s >= 0.0, "negative outage duration");
+  outages_.push_back(outage);
+}
+
+bool LinkModel::in_outage(double t_s) const {
+  for (const auto& o : outages_) {
+    if (t_s >= o.start_s && t_s < o.end_s()) return true;
+  }
+  return false;
+}
+
+double LinkModel::capacity_at(double t_s) const {
+  return in_outage(t_s) ? 0.0 : capacity_bps_;
+}
+
+}  // namespace chronos::net

@@ -1,0 +1,41 @@
+// Access-point link with localization-induced outages (paper §12.3).
+//
+// When an AP serves a Chronos localization request it leaves its home
+// channel and sweeps all 35 bands (~84 ms), during which it cannot carry
+// client traffic. This module models the AP's downlink as a fixed-capacity
+// fluid link with outage intervals, shared by the TCP and video sessions.
+#pragma once
+
+#include <vector>
+
+namespace chronos::net {
+
+struct Outage {
+  double start_s = 0.0;
+  double duration_s = 0.0;
+  double end_s() const { return start_s + duration_s; }
+};
+
+class LinkModel {
+ public:
+  /// capacity in bits per second.
+  explicit LinkModel(double capacity_bps);
+
+  /// Registers an outage window (e.g. one Chronos sweep).
+  void add_outage(const Outage& outage);
+
+  /// Instantaneous capacity at time t: 0 inside an outage.
+  double capacity_at(double t_s) const;
+
+  /// True when t falls inside any outage.
+  bool in_outage(double t_s) const;
+
+  double capacity_bps() const { return capacity_bps_; }
+  const std::vector<Outage>& outages() const { return outages_; }
+
+ private:
+  double capacity_bps_;
+  std::vector<Outage> outages_;
+};
+
+}  // namespace chronos::net

@@ -1,0 +1,48 @@
+#include "phy/csi.hpp"
+
+#include <array>
+
+#include "mathx/contracts.hpp"
+
+namespace chronos::phy {
+
+namespace {
+// 802.11n Ng=2 grouping as reported by the Intel 5300 for HT20.
+constexpr std::array<int, 30> kIndices = {
+    -28, -26, -24, -22, -20, -18, -16, -14, -12, -10, -8, -6, -4, -2, -1,
+    1,   3,   5,   7,   9,   11,  13,  15,  17,  19,  21, 23, 25, 27, 28};
+constexpr double kSubcarrierSpacingHz = 312.5e3;
+}  // namespace
+
+std::span<const int> intel5300_subcarrier_indices() { return kIndices; }
+
+double subcarrier_offset_hz(int index) {
+  return static_cast<double>(index) * kSubcarrierSpacingHz;
+}
+
+double CsiMeasurement::frequency_at(std::size_t k) const {
+  CHRONOS_EXPECTS(k < values.size(), "subcarrier index out of range");
+  return band.center_freq_hz + subcarrier_offset_hz(kIndices[k]);
+}
+
+void validate(const SweepMeasurement& sweep) {
+  CHRONOS_EXPECTS(!sweep.bands.empty(), "sweep contains no bands");
+  for (const auto& captures : sweep.bands) {
+    CHRONOS_EXPECTS(!captures.empty(), "band capture list is empty");
+    for (const auto& cap : captures) {
+      CHRONOS_EXPECTS(cap.forward.values.size() == kIndices.size(),
+                      "forward CSI must cover 30 subcarriers");
+      CHRONOS_EXPECTS(cap.reverse.values.size() == kIndices.size(),
+                      "reverse CSI must cover 30 subcarriers");
+      CHRONOS_EXPECTS(cap.forward.direction == Direction::kForward,
+                      "forward capture mislabelled");
+      CHRONOS_EXPECTS(cap.reverse.direction == Direction::kReverse,
+                      "reverse capture mislabelled");
+      CHRONOS_EXPECTS(
+          cap.forward.band.channel == cap.reverse.band.channel,
+          "forward/reverse captures must be on the same band");
+    }
+  }
+}
+
+}  // namespace chronos::phy

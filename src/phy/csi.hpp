@@ -1,0 +1,64 @@
+// Channel State Information containers and the Intel 5300 subcarrier layout.
+//
+// The 802.11n CSI feedback the Intel 5300 exposes (via the Linux CSI Tool the
+// paper builds on) reports the complex channel on 30 grouped subcarriers per
+// 20 MHz band. Chronos's pipeline consumes exactly this: a CsiMeasurement per
+// (band, direction, packet).
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "phy/band_plan.hpp"
+
+namespace chronos::phy {
+
+/// Direction of the measurement within Chronos's two-way exchange (§7):
+/// kForward  = CSI of the initiator's packet, measured at the responder;
+/// kReverse  = CSI of the responder's ACK, measured at the initiator.
+enum class Direction { kForward, kReverse };
+
+/// The 30 subcarrier indices (of the 56 populated HT20 subcarriers) that the
+/// Intel 5300 reports with 802.11n grouping Ng=2:
+/// -28,-26,...,-2,-1, 1,3,...,27,28.
+std::span<const int> intel5300_subcarrier_indices();
+
+/// Frequency offset of subcarrier `index` from the band center.
+double subcarrier_offset_hz(int index);
+
+/// One CSI snapshot: the complex channel on the 30 reported subcarriers of
+/// one band, for one packet, in one direction.
+struct CsiMeasurement {
+  WifiBand band;
+  Direction direction = Direction::kForward;
+  double timestamp_s = 0.0;  ///< when the packet was captured
+  double snr_db = 30.0;      ///< post-processing SNR estimate for this packet
+  std::vector<std::complex<double>> values;  ///< size 30, subcarrier order
+
+  /// Absolute frequency of the k-th reported subcarrier.
+  double frequency_at(std::size_t k) const;
+};
+
+/// All CSI collected in one full sweep of the band plan: for each band, one
+/// or more forward/reverse measurement pairs.
+struct SweepMeasurement {
+  struct BandCapture {
+    CsiMeasurement forward;
+    CsiMeasurement reverse;
+  };
+  /// Per band: the captured packet exchanges (>= 1, more when the protocol
+  /// retransmits; the pipeline averages them).
+  std::vector<std::vector<BandCapture>> bands;
+  double sweep_duration_s = 0.0;
+
+  std::size_t band_count() const { return bands.size(); }
+};
+
+/// Validates structural invariants (30 values per measurement, matching
+/// bands within a capture); throws on violation. Called by the pipeline at
+/// its trust boundary before touching the numbers.
+void validate(const SweepMeasurement& sweep);
+
+}  // namespace chronos::phy

@@ -1,0 +1,115 @@
+#include "phy/csi_io.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "mathx/contracts.hpp"
+#include "phy/band_plan.hpp"
+
+namespace chronos::phy {
+
+void write_sweep(std::ostream& os, const SweepMeasurement& sweep) {
+  validate(sweep);
+  os << "# chronos CSI sweep v1\n";
+  os << "sweep " << sweep.bands.size() << ' '
+     << std::setprecision(17) << sweep.sweep_duration_s << '\n';
+  for (std::size_t bi = 0; bi < sweep.bands.size(); ++bi) {
+    os << "band " << bi << ' '
+       << sweep.bands[bi].front().forward.band.channel << '\n';
+  }
+  auto write_capture = [&os](std::size_t bi, const CsiMeasurement& m) {
+    os << "capture " << bi << ' '
+       << (m.direction == Direction::kForward ? 'f' : 'r') << ' '
+       << std::setprecision(17) << m.timestamp_s << ' ' << m.snr_db;
+    for (const auto& v : m.values) {
+      os << ' ' << v.real() << ' ' << v.imag();
+    }
+    os << '\n';
+  };
+  for (std::size_t bi = 0; bi < sweep.bands.size(); ++bi) {
+    for (const auto& cap : sweep.bands[bi]) {
+      write_capture(bi, cap.forward);
+      write_capture(bi, cap.reverse);
+    }
+  }
+}
+
+SweepMeasurement read_sweep(std::istream& is) {
+  SweepMeasurement sweep;
+  std::vector<WifiBand> bands;
+  std::string line;
+  bool have_header = false;
+
+  // Forward measurements wait here until their reverse partner arrives.
+  std::vector<CsiMeasurement> pending_forward;
+
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag;
+
+    if (tag == "sweep") {
+      std::size_t n = 0;
+      ls >> n >> sweep.sweep_duration_s;
+      CHRONOS_EXPECTS(!ls.fail() && n > 0, "bad sweep header");
+      sweep.bands.resize(n);
+      bands.resize(n);
+      pending_forward.resize(n);
+      have_header = true;
+    } else if (tag == "band") {
+      CHRONOS_EXPECTS(have_header, "band record before sweep header");
+      std::size_t idx = 0;
+      int channel = 0;
+      ls >> idx >> channel;
+      CHRONOS_EXPECTS(!ls.fail() && idx < bands.size(), "bad band record");
+      bands[idx] = band_by_channel(channel);
+    } else if (tag == "capture") {
+      CHRONOS_EXPECTS(have_header, "capture record before sweep header");
+      std::size_t bi = 0;
+      char dir = 'f';
+      CsiMeasurement m;
+      ls >> bi >> dir >> m.timestamp_s >> m.snr_db;
+      CHRONOS_EXPECTS(!ls.fail() && bi < bands.size(), "bad capture record");
+      m.band = bands[bi];
+      m.direction = dir == 'f' ? Direction::kForward : Direction::kReverse;
+      m.values.reserve(intel5300_subcarrier_indices().size());
+      double re = 0.0, im = 0.0;
+      while (ls >> re >> im) m.values.emplace_back(re, im);
+      CHRONOS_EXPECTS(
+          m.values.size() == intel5300_subcarrier_indices().size(),
+          "capture must carry 30 subcarrier values");
+
+      if (m.direction == Direction::kForward) {
+        pending_forward[bi] = std::move(m);
+      } else {
+        CHRONOS_EXPECTS(!pending_forward[bi].values.empty(),
+                        "reverse capture without a forward partner");
+        sweep.bands[bi].push_back(
+            {std::move(pending_forward[bi]), std::move(m)});
+        pending_forward[bi] = CsiMeasurement{};
+      }
+    } else {
+      CHRONOS_EXPECTS(false, "unknown record tag in CSI trace");
+    }
+  }
+  CHRONOS_EXPECTS(have_header, "stream contains no sweep header");
+  validate(sweep);
+  return sweep;
+}
+
+void save_sweep(const std::string& path, const SweepMeasurement& sweep) {
+  std::ofstream os(path);
+  CHRONOS_EXPECTS(os.good(), "cannot open file for writing: " + path);
+  write_sweep(os, sweep);
+  CHRONOS_EXPECTS(os.good(), "write failed: " + path);
+}
+
+SweepMeasurement load_sweep(const std::string& path) {
+  std::ifstream is(path);
+  CHRONOS_EXPECTS(is.good(), "cannot open file for reading: " + path);
+  return read_sweep(is);
+}
+
+}  // namespace chronos::phy

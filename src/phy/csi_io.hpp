@@ -1,0 +1,38 @@
+// CSI trace serialization.
+//
+// Sweeps can be saved to and loaded from a line-oriented text format, which
+// serves two purposes: (a) benches and examples can snapshot interesting
+// workloads, and (b) traces captured from *real* hardware (e.g. the Linux
+// 802.11n CSI Tool the paper builds on) can be converted to this format and
+// fed through the identical pipeline — the estimation code cannot tell the
+// difference.
+//
+// Format (one record per line, '#' comments ignored):
+//   sweep <band_count> <sweep_duration_s>
+//   band <index> <channel>
+//   capture <band_index> <direction:f|r> <timestamp_s> <snr_db> \
+//           <re0> <im0> ... <re29> <im29>
+// Captures appear forward/reverse alternating, in band order.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "phy/csi.hpp"
+
+namespace chronos::phy {
+
+/// Writes a sweep to a stream. Throws std::invalid_argument on malformed
+/// input sweeps (validated first).
+void write_sweep(std::ostream& os, const SweepMeasurement& sweep);
+
+/// Reads a sweep written by write_sweep. Throws std::invalid_argument on
+/// parse errors or structural violations.
+SweepMeasurement read_sweep(std::istream& is);
+
+/// Convenience file wrappers. Throw std::invalid_argument when the file
+/// cannot be opened.
+void save_sweep(const std::string& path, const SweepMeasurement& sweep);
+SweepMeasurement load_sweep(const std::string& path);
+
+}  // namespace chronos::phy

@@ -1,0 +1,40 @@
+#include "phy/detection.hpp"
+
+#include <cmath>
+
+#include "mathx/constants.hpp"
+#include "mathx/contracts.hpp"
+
+namespace chronos::phy {
+
+namespace {
+constexpr double kSamplePeriodS = 50e-9;  // 20 MHz baseband
+
+double snr_linear(double snr_db) { return std::pow(10.0, snr_db / 10.0); }
+
+// Rayleigh sample via inverse CDF from a uniform draw.
+double rayleigh(double sigma, mathx::Rng& rng) {
+  const double u = rng.uniform(1e-12, 1.0);
+  return sigma * std::sqrt(-2.0 * std::log(u));
+}
+}  // namespace
+
+double DetectionModel::expected_delay_s(double snr_db) const {
+  const double crossing =
+      kSamplePeriodS * params_.threshold_snr_samples / snr_linear(snr_db);
+  // Mean of Rayleigh(sigma) is sigma*sqrt(pi/2).
+  const double jitter_mean =
+      params_.jitter_sigma_s * std::sqrt(mathx::kPi / 2.0);
+  return params_.pipeline_delay_s + crossing + jitter_mean;
+}
+
+double DetectionModel::sample_delay_s(double snr_db, mathx::Rng& rng) const {
+  CHRONOS_EXPECTS(snr_db > -20.0 && snr_db < 80.0,
+                  "snr outside plausible range");
+  const double crossing =
+      kSamplePeriodS * params_.threshold_snr_samples / snr_linear(snr_db);
+  const double jitter = rayleigh(params_.jitter_sigma_s, rng);
+  return params_.pipeline_delay_s + crossing + jitter;
+}
+
+}  // namespace chronos::phy

@@ -1,0 +1,42 @@
+#include "proto/events.hpp"
+
+#include "mathx/contracts.hpp"
+
+namespace chronos::proto {
+
+void EventScheduler::schedule_at(double at_s, EventFn fn) {
+  CHRONOS_EXPECTS(at_s >= now_s_, "cannot schedule into the past");
+  queue_.push({at_s, next_seq_++, std::move(fn)});
+}
+
+void EventScheduler::schedule_in(double delay_s, EventFn fn) {
+  CHRONOS_EXPECTS(delay_s >= 0.0, "negative delay");
+  schedule_at(now_s_ + delay_s, std::move(fn));
+}
+
+std::size_t EventScheduler::run_until(double until_s) {
+  std::size_t executed = 0;
+  while (!queue_.empty() && queue_.top().at_s <= until_s) {
+    Entry e = queue_.top();
+    queue_.pop();
+    now_s_ = e.at_s;
+    e.fn();
+    ++executed;
+  }
+  if (now_s_ < until_s) now_s_ = until_s;
+  return executed;
+}
+
+std::size_t EventScheduler::run() {
+  std::size_t executed = 0;
+  while (!queue_.empty()) {
+    Entry e = queue_.top();
+    queue_.pop();
+    now_s_ = e.at_s;
+    e.fn();
+    ++executed;
+  }
+  return executed;
+}
+
+}  // namespace chronos::proto

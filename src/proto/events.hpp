@@ -1,0 +1,55 @@
+// Discrete-event scheduler.
+//
+// Shared infrastructure for the protocol simulations: the channel-hopping
+// FSM (Fig 9a), the traffic experiments (Fig 9b/c) and the drone control
+// loop all advance simulated time through this queue.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace chronos::proto {
+
+using EventFn = std::function<void()>;
+
+class EventScheduler {
+ public:
+  /// Schedules `fn` to run at absolute simulated time `at_s`. Events at
+  /// equal times run in scheduling order (stable FIFO tie-break).
+  void schedule_at(double at_s, EventFn fn);
+
+  /// Schedules `fn` to run `delay_s` after the current time.
+  void schedule_in(double delay_s, EventFn fn);
+
+  /// Runs events until the queue drains or simulated time would exceed
+  /// `until_s` (remaining events stay queued). Returns events executed.
+  std::size_t run_until(double until_s);
+
+  /// Runs everything. Returns events executed.
+  std::size_t run();
+
+  double now() const { return now_s_; }
+  bool empty() const { return queue_.empty(); }
+  std::size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Entry {
+    double at_s;
+    std::uint64_t seq;  // FIFO tie-break
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at_s != b.at_s) return a.at_s > b.at_s;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  double now_s_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace chronos::proto

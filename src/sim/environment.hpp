@@ -1,0 +1,60 @@
+// Indoor propagation environments.
+//
+// Substitutes for the paper's physical testbeds: the 20 m x 20 m office
+// floor with offices, a lounge, metal cabinets and furniture (Fig 6), the
+// 6 m x 5 m VICON-equipped drone room (§12.4), and an anechoic single-path
+// environment used for hardware calibration (§7's "measure a device at a
+// known distance once").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geom/image_source.hpp"
+#include "geom/vec2.hpp"
+
+namespace chronos::sim {
+
+/// A point scatterer: furniture, cabinet edges, people — anything that
+/// re-radiates a faint copy of the signal. A scatterer at position s adds a
+/// path tx -> s -> rx whose delay and amplitude follow from the two-leg
+/// geometry, so the echo field varies *continuously* with antenna position
+/// (the property per-antenna common-mode errors — and hence small-baseline
+/// trilateration — depend on).
+struct Scatterer {
+  geom::Vec2 position;
+  /// Re-radiation strength (dimensionless; calibrated so office echoes sit
+  /// ~10-20 dB below the direct path at mid-range).
+  double cross_section = 0.7;
+  /// Fixed scattering phase [rad] (material/shape dependent).
+  double phase_rad = 0.0;
+};
+
+/// A propagation environment: reflecting walls plus non-reflecting blockers
+/// (interior partitions) that attenuate paths crossing them, creating NLOS.
+struct Environment {
+  std::string name;
+  std::vector<geom::Wall> walls;     ///< specular reflectors
+  std::vector<geom::Wall> blockers;  ///< transmissive obstructions
+  std::vector<Scatterer> scatterers; ///< diffuse furniture echoes
+  /// Maximum image-source reflection order to enumerate.
+  int max_reflection_order = 2;
+
+  /// True when the straight segment tx->rx crosses no blocker.
+  bool line_of_sight(const geom::Vec2& tx, const geom::Vec2& rx) const;
+};
+
+/// The paper's main testbed: a 20 m x 20 m office floor. Outer walls are
+/// strong reflectors; interior partitions and two metal cabinets provide
+/// both reflections and NLOS blockage.
+Environment office_20x20();
+
+/// The 6 m x 5 m motion-capture room used for the drone experiments.
+Environment drone_room_6x5();
+
+/// A reflection-free environment: only the direct path exists. Used to
+/// calibrate per-band hardware constants and in unit tests that need exact
+/// ground truth.
+Environment anechoic();
+
+}  // namespace chronos::sim

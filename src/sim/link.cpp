@@ -1,0 +1,175 @@
+#include "sim/link.hpp"
+
+#include <cmath>
+
+#include "mathx/constants.hpp"
+#include "mathx/contracts.hpp"
+#include "phy/intel5300.hpp"
+
+namespace chronos::sim {
+
+LinkSimulator::LinkSimulator(Environment env, LinkSimConfig config)
+    : env_(std::move(env)), config_(std::move(config)) {
+  bands_ = config_.bands.empty() ? phy::us_band_plan() : config_.bands;
+  CHRONOS_EXPECTS(config_.exchanges_per_band >= 1,
+                  "need at least one exchange per band");
+  CHRONOS_EXPECTS(config_.dwell_time_s > 0.0, "dwell time must be positive");
+}
+
+std::vector<PathComponent> LinkSimulator::paths_between(
+    const Device& tx, std::size_t tx_antenna, const Device& rx,
+    std::size_t rx_antenna) const {
+  CHRONOS_EXPECTS(tx_antenna < tx.antennas.size(), "tx antenna out of range");
+  CHRONOS_EXPECTS(rx_antenna < rx.antennas.size(), "rx antenna out of range");
+  return compute_paths(env_, tx.antennas[tx_antenna], rx.antennas[rx_antenna],
+                       config_.propagation);
+}
+
+namespace {
+
+/// Index of `band` within the full US plan (for per-band chain ripple).
+std::size_t plan_index(const phy::WifiBand& band) {
+  const auto& plan = phy::us_band_plan();
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    if (plan[i].channel == band.channel &&
+        plan[i].is_2_4ghz() == band.is_2_4ghz())
+      return i;
+  }
+  return 0;
+}
+
+}  // namespace
+
+phy::SweepMeasurement LinkSimulator::simulate_sweep(
+    const Device& tx, std::size_t tx_antenna, const Device& rx,
+    std::size_t rx_antenna, mathx::Rng& rng) const {
+  const auto paths = paths_between(tx, tx_antenna, rx, rx_antenna);
+  const double chan_power = total_power(paths);
+  const double snr_db = packet_snr_db(tx.radio, rx.radio, chan_power);
+  const double snr_linear = std::pow(10.0, snr_db / 10.0);
+
+  const phy::DetectionModel detector(config_.detection);
+  const auto sc_indices = phy::intel5300_subcarrier_indices();
+
+  phy::SweepMeasurement sweep;
+  sweep.bands.resize(bands_.size());
+  sweep.sweep_duration_s =
+      config_.dwell_time_s * static_cast<double>(bands_.size());
+
+  for (std::size_t bi = 0; bi < bands_.size(); ++bi) {
+    const phy::WifiBand& band = bands_[bi];
+    const double band_start = config_.dwell_time_s * static_cast<double>(bi);
+
+    // Residual CFO for this dwell: the NIC re-estimates CFO per hop, so the
+    // residual is redrawn on every band (and drifts slightly per packet).
+    const double residual_cfo_hz =
+        config_.enable_cfo
+            ? rng.normal(0.0, std::hypot(tx.radio.residual_cfo_std_hz,
+                                         rx.radio.residual_cfo_std_hz))
+            : 0.0;
+
+    // Per-hop synthesizer phase difference between the two devices. It is
+    // the *same* unknown for the packet and its ACK (both LOs keep running
+    // within the dwell), which is exactly why the two-way product kills it.
+    const double lo_phase =
+        config_.enable_lo_phase ? rng.uniform_phase() : 0.0;
+
+    // Reciprocity constant kappa for this band: hardware group delays of
+    // both chains plus each device's fixed per-band ripple. Applied to the
+    // reverse measurement only (paper Eqn 12).
+    std::complex<double> kappa{1.0, 0.0};
+    double hw_delay = 0.0;
+    if (config_.enable_chain_effects) {
+      hw_delay = tx.radio.hardware_delay_s + rx.radio.hardware_delay_s;
+      const std::size_t pi = plan_index(band);
+      kappa = std::polar(1.0, tx.chain_ripple_rad(pi) + rx.chain_ripple_rad(pi));
+    }
+
+    auto& captures = sweep.bands[bi];
+    captures.reserve(static_cast<std::size_t>(config_.exchanges_per_band));
+
+    for (int e = 0; e < config_.exchanges_per_band; ++e) {
+      const double t_pkt =
+          band_start + config_.exchange_period_s * static_cast<double>(e);
+      const double t_ack =
+          t_pkt + config_.ack_turnaround_s +
+          (config_.ack_turnaround_jitter_s > 0.0
+               ? rng.normal(0.0, config_.ack_turnaround_jitter_s)
+               : 0.0);
+
+      const double delta_fwd =
+          config_.enable_detection_delay ? detector.sample_delay_s(snr_db, rng)
+                                         : 0.0;
+      const double delta_rev =
+          config_.enable_detection_delay ? detector.sample_delay_s(snr_db, rng)
+                                         : 0.0;
+
+      // The 2.4 GHz firmware quirk leaves the band-wide phase known only
+      // modulo pi/2: model as an independent quadrant rotation per packet.
+      const double quirk_fwd =
+          (config_.enable_quirk && band.is_2_4ghz())
+              ? (mathx::kPi / 2.0) * static_cast<double>(rng.uniform_int(0, 3))
+              : 0.0;
+      const double quirk_rev =
+          (config_.enable_quirk && band.is_2_4ghz())
+              ? (mathx::kPi / 2.0) * static_cast<double>(rng.uniform_int(0, 3))
+              : 0.0;
+
+      phy::CsiMeasurement fwd;
+      fwd.band = band;
+      fwd.direction = phy::Direction::kForward;
+      fwd.timestamp_s = t_pkt;
+      fwd.snr_db = snr_db;
+      fwd.values.resize(sc_indices.size());
+
+      phy::CsiMeasurement rev;
+      rev.band = band;
+      rev.direction = phy::Direction::kReverse;
+      rev.timestamp_s = t_ack;
+      rev.snr_db = snr_db;
+      rev.values.resize(sc_indices.size());
+
+      // RMS channel magnitude on this band sets the per-subcarrier noise.
+      const double rms_mag = std::sqrt(chan_power);
+      const double noise_sigma =
+          config_.enable_noise ? rms_mag / std::sqrt(2.0 * snr_linear) : 0.0;
+
+      for (std::size_t k = 0; k < sc_indices.size(); ++k) {
+        const double f_off = phy::subcarrier_offset_hz(sc_indices[k]);
+        const double f_abs = band.center_freq_hz + f_off;
+
+        // True over-the-air channel including hardware group delay (the
+        // chains delay the signal exactly like extra flight time; each
+        // direction traverses one TX and one RX chain).
+        const std::complex<double> h_air = channel_at(paths, f_abs);
+        const std::complex<double> hw_rot =
+            std::polar(1.0, -mathx::kTwoPi * f_abs * hw_delay);
+
+        // Forward: detection delay at RX, +CFO phase, +LO phase, +quirk.
+        std::complex<double> h_fwd = h_air * hw_rot;
+        h_fwd *= std::polar(1.0, -mathx::kTwoPi * f_off * delta_fwd);
+        h_fwd *= std::polar(
+            1.0, mathx::kTwoPi * residual_cfo_hz * t_pkt + lo_phase + quirk_fwd);
+        if (config_.enable_noise) h_fwd += rng.complex_gaussian(noise_sigma);
+        fwd.values[k] = h_fwd;
+
+        // Reverse: same air channel (reciprocity), own detection delay,
+        // negated CFO/LO phase, kappa.
+        std::complex<double> h_rev = h_air * hw_rot * kappa;
+        h_rev *= std::polar(1.0, -mathx::kTwoPi * f_off * delta_rev);
+        h_rev *= std::polar(
+            1.0,
+            -(mathx::kTwoPi * residual_cfo_hz * t_ack + lo_phase) + quirk_rev);
+        if (config_.enable_noise) h_rev += rng.complex_gaussian(noise_sigma);
+        rev.values[k] = h_rev;
+      }
+
+      captures.push_back({std::move(fwd), std::move(rev)});
+    }
+  }
+
+  phy::validate(sweep);
+  return sweep;
+}
+
+}  // namespace chronos::sim

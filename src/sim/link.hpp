@@ -1,0 +1,86 @@
+// Two-way CSI measurement simulation.
+//
+// Produces exactly what the paper's modified iwlwifi driver hands to
+// Chronos's software pipeline: for every Wi-Fi band in the sweep, one or
+// more forward/reverse CSI pairs (packet + ACK), each corrupted by
+//   * multipath (environment geometry),
+//   * per-subcarrier AWGN at the link-budget SNR,
+//   * per-packet detection delay rotating non-zero subcarriers (§5),
+//   * residual CFO accumulating phase between packet and ACK (§7),
+//   * a random per-hop LO phase common to both directions (cancelled by the
+//     two-way product, §7),
+//   * the devices' chain ripple / hardware group delay (kappa, §7),
+//   * the Intel 5300 2.4 GHz quadrant ambiguity (§11 footnote 5).
+// Every impairment can be toggled for ablation studies.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mathx/rng.hpp"
+#include "phy/band_plan.hpp"
+#include "phy/csi.hpp"
+#include "phy/detection.hpp"
+#include "sim/environment.hpp"
+#include "sim/multipath.hpp"
+#include "sim/radio.hpp"
+
+namespace chronos::sim {
+
+struct LinkSimConfig {
+  /// Bands to sweep; defaults to the full 35-band US plan when empty.
+  std::vector<phy::WifiBand> bands;
+  /// Forward/reverse exchanges captured per band (the pipeline averages).
+  int exchanges_per_band = 3;
+  /// Dwell time on each band before hopping.
+  double dwell_time_s = 2.4e-3;
+  /// Packet-to-ACK turnaround (mean and jitter): the residual-CFO phase
+  /// error of the two-way product grows with this gap (§7 observation 1).
+  double ack_turnaround_s = 28e-6;
+  double ack_turnaround_jitter_s = 4e-6;
+  /// Spacing between successive exchanges on the same band.
+  double exchange_period_s = 700e-6;
+
+  // Impairment toggles (all on = realistic; all off = textbook Eqn 7).
+  bool enable_noise = true;
+  bool enable_detection_delay = true;
+  bool enable_cfo = true;
+  bool enable_lo_phase = true;
+  bool enable_chain_effects = true;  ///< kappa: hardware delay + band ripple
+  bool enable_quirk = true;          ///< 2.4 GHz quadrant ambiguity
+
+  PropagationModelParams propagation;
+  phy::DetectionModelParams detection;
+};
+
+/// Simulates Chronos sweeps between one TX antenna and one RX antenna.
+class LinkSimulator {
+ public:
+  LinkSimulator(Environment env, LinkSimConfig config);
+
+  /// Runs one full sweep and returns the per-band CSI captures. `tx`/`rx`
+  /// devices supply radio personalities; `tx_antenna`/`rx_antenna` select
+  /// the antenna pair being ranged.
+  phy::SweepMeasurement simulate_sweep(const Device& tx, std::size_t tx_antenna,
+                                       const Device& rx, std::size_t rx_antenna,
+                                       mathx::Rng& rng) const;
+
+  /// The multipath components the sweep would see (exposed for tests and
+  /// for benches that need ground-truth path delays).
+  std::vector<PathComponent> paths_between(const Device& tx,
+                                           std::size_t tx_antenna,
+                                           const Device& rx,
+                                           std::size_t rx_antenna) const;
+
+  const Environment& environment() const { return env_; }
+  const LinkSimConfig& config() const { return config_; }
+  /// Bands actually swept (config bands or the full US plan).
+  const std::vector<phy::WifiBand>& bands() const { return bands_; }
+
+ private:
+  Environment env_;
+  LinkSimConfig config_;
+  std::vector<phy::WifiBand> bands_;
+};
+
+}  // namespace chronos::sim

@@ -1,0 +1,66 @@
+// Device and radio-hardware models.
+//
+// Captures everything about a Wi-Fi card that corrupts CSI phase beyond the
+// over-the-air channel (paper §7): carrier-frequency offset from crystal
+// ppm error, the per-hop random synthesizer phase, the reciprocity constant
+// kappa (transmit/receive chain asymmetry, modelled as a hardware group
+// delay plus fixed per-band phase ripple), transmit power, and noise floor.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+#include "geom/vec2.hpp"
+#include "mathx/rng.hpp"
+#include "phy/band_plan.hpp"
+
+namespace chronos::sim {
+
+struct RadioParams {
+  /// Residual CFO after the NIC's preamble-based correction. The raw crystal
+  /// offset (up to +-20 ppm, hundreds of kHz) is corrected by hardware; what
+  /// leaks into CSI is a per-packet residual of a few hundred Hz.
+  double residual_cfo_std_hz = 300.0;
+  /// Hardware group delay through the TX+RX chains [s]; shows up as a
+  /// constant time-of-flight bias until calibrated out.
+  double hardware_delay_s = 12e-9;
+  /// Std-dev of the fixed per-band phase ripple of the chains [rad].
+  double band_ripple_std_rad = 0.05;
+  double tx_power_dbm = 15.0;
+  double noise_floor_dbm = -82.0;
+};
+
+/// A Wi-Fi device: antenna positions (absolute, on the floor plan) plus its
+/// radio hardware. The per-band chain ripple is derived deterministically
+/// from `hardware_seed` so a device keeps its personality across sweeps —
+/// which is what makes one-time calibration (§7) meaningful.
+struct Device {
+  std::vector<geom::Vec2> antennas;
+  RadioParams radio;
+  std::uint64_t hardware_seed = 1;
+
+  /// Fixed phase ripple of this device's chain on band `band_index` of the
+  /// US plan (deterministic in hardware_seed).
+  double chain_ripple_rad(std::size_t band_index) const;
+};
+
+/// A 3-antenna laptop (Intel 5300): antennas on a line with the given
+/// spacing, centred at `center`, default 30 cm total aperture (paper §12.2).
+Device make_laptop(const geom::Vec2& center, double antenna_span_m = 0.3,
+                   std::uint64_t hardware_seed = 1);
+
+/// An access-point-like device with a 100 cm antenna baseline (§12.2).
+Device make_access_point(const geom::Vec2& center,
+                         double antenna_span_m = 1.0,
+                         std::uint64_t hardware_seed = 2);
+
+/// A single-antenna device in the user's pocket (§9).
+Device make_mobile(const geom::Vec2& position, std::uint64_t hardware_seed = 3);
+
+/// Link-budget SNR for a packet with the given received power (linear |h|^2
+/// aggregated over paths) between two radios.
+double packet_snr_db(const RadioParams& tx, const RadioParams& rx,
+                     double channel_power_linear);
+
+}  // namespace chronos::sim

@@ -1,0 +1,117 @@
+#include "sim/scenario.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mathx/contracts.hpp"
+
+namespace chronos::sim {
+
+namespace {
+
+// Minimum clearance from any wall/blocker so devices don't sit inside
+// furniture.
+constexpr double kClearance = 0.4;
+
+double point_segment_distance(const geom::Vec2& p, const geom::Vec2& a,
+                              const geom::Vec2& b) {
+  const geom::Vec2 ab = b - a;
+  const double len_sq = ab.norm_sq();
+  if (len_sq < 1e-15) return geom::distance(p, a);
+  double t = (p - a).dot(ab) / len_sq;
+  t = std::clamp(t, 0.0, 1.0);
+  return geom::distance(p, a + ab * t);
+}
+
+bool clear_of_obstacles(const Environment& env, const geom::Vec2& p) {
+  for (const auto& w : env.walls) {
+    if (point_segment_distance(p, w.a, w.b) < kClearance) return false;
+  }
+  for (const auto& w : env.blockers) {
+    if (point_segment_distance(p, w.a, w.b) < kClearance) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Scenario::Scenario(Environment env, std::size_t n_locations,
+                   std::uint64_t seed)
+    : env_(std::move(env)) {
+  CHRONOS_EXPECTS(n_locations >= 2, "scenario needs at least two locations");
+  mathx::Rng rng(seed);
+
+  // Bounding box of the environment walls.
+  double min_x = 1e18, max_x = -1e18, min_y = 1e18, max_y = -1e18;
+  for (const auto& w : env_.walls) {
+    for (const geom::Vec2& v : {w.a, w.b}) {
+      min_x = std::min(min_x, v.x);
+      max_x = std::max(max_x, v.x);
+      min_y = std::min(min_y, v.y);
+      max_y = std::max(max_y, v.y);
+    }
+  }
+  CHRONOS_EXPECTS(max_x > min_x && max_y > min_y,
+                  "environment must have walls to bound the testbed");
+
+  int attempts = 0;
+  while (locations_.size() < n_locations) {
+    CHRONOS_EXPECTS(++attempts < 100000, "could not place testbed locations");
+    const geom::Vec2 p{rng.uniform(min_x + kClearance, max_x - kClearance),
+                       rng.uniform(min_y + kClearance, max_y - kClearance)};
+    if (!clear_of_obstacles(env_, p)) continue;
+    // Keep candidate spots at least 1 m apart, like distinct desks/offices.
+    bool far_enough = true;
+    for (const auto& q : locations_) {
+      if (geom::distance(p, q) < 1.0) {
+        far_enough = false;
+        break;
+      }
+    }
+    if (far_enough) locations_.push_back(p);
+  }
+}
+
+Placement Scenario::sample_with(mathx::Rng& rng, double min_d, double max_d,
+                                int want_los) const {
+  CHRONOS_EXPECTS(max_d > min_d && min_d >= 0.0, "bad distance range");
+  for (int attempt = 0; attempt < 20000; ++attempt) {
+    const auto i = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<int>(locations_.size()) - 1));
+    const auto j = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<int>(locations_.size()) - 1));
+    if (i == j) continue;
+    Placement p;
+    p.tx = locations_[i];
+    p.rx = locations_[j];
+    const double d = p.distance();
+    if (d < min_d || d > max_d) continue;
+    p.line_of_sight = env_.line_of_sight(p.tx, p.rx);
+    if (want_los == 1 && !p.line_of_sight) continue;
+    if (want_los == 0 && p.line_of_sight) continue;
+    return p;
+  }
+  CHRONOS_EXPECTS(false, "no placement satisfies the constraints");
+  return {};
+}
+
+Placement Scenario::sample_pair(mathx::Rng& rng, double min_d,
+                                double max_d) const {
+  return sample_with(rng, min_d, max_d, -1);
+}
+
+Placement Scenario::sample_pair_los(mathx::Rng& rng, double min_d,
+                                    double max_d) const {
+  return sample_with(rng, min_d, max_d, 1);
+}
+
+Placement Scenario::sample_pair_nlos(mathx::Rng& rng, double min_d,
+                                     double max_d) const {
+  return sample_with(rng, min_d, max_d, 0);
+}
+
+Scenario office_testbed(std::uint64_t seed) {
+  return Scenario(office_20x20(), 30, seed);
+}
+
+}  // namespace chronos::sim

@@ -1,0 +1,53 @@
+// Evaluation scenarios: reproduces the paper's Fig 6 testbed protocol —
+// 30 candidate device locations on the 20 m x 20 m office floor, random
+// pairs with distance up to 15 m, classified LOS / NLOS.
+#pragma once
+
+#include <vector>
+
+#include "geom/vec2.hpp"
+#include "mathx/rng.hpp"
+#include "sim/environment.hpp"
+
+namespace chronos::sim {
+
+/// A transmitter/receiver placement drawn from the testbed.
+struct Placement {
+  geom::Vec2 tx;
+  geom::Vec2 rx;
+  bool line_of_sight = true;
+  double distance() const { return geom::distance(tx, rx); }
+};
+
+class Scenario {
+ public:
+  /// Builds the office testbed with `n_locations` candidate spots (the
+  /// paper's blue dots), placed deterministically from `seed` while staying
+  /// clear of walls.
+  Scenario(Environment env, std::size_t n_locations, std::uint64_t seed);
+
+  const Environment& environment() const { return env_; }
+  const std::vector<geom::Vec2>& locations() const { return locations_; }
+
+  /// Draws a random TX/RX location pair with separation in
+  /// [min_distance, max_distance], optionally constrained to LOS or NLOS.
+  /// Throws after too many rejections (infeasible constraint).
+  Placement sample_pair(mathx::Rng& rng, double min_distance_m,
+                        double max_distance_m) const;
+  Placement sample_pair_los(mathx::Rng& rng, double min_distance_m,
+                            double max_distance_m) const;
+  Placement sample_pair_nlos(mathx::Rng& rng, double min_distance_m,
+                             double max_distance_m) const;
+
+ private:
+  Placement sample_with(mathx::Rng& rng, double min_d, double max_d,
+                        int want_los) const;  // -1 any, 0 nlos, 1 los
+
+  Environment env_;
+  std::vector<geom::Vec2> locations_;
+};
+
+/// The paper's default testbed: office_20x20 with 30 locations.
+Scenario office_testbed(std::uint64_t seed = 42);
+
+}  // namespace chronos::sim

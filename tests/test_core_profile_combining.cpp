@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/combining.hpp"
+#include "core/profile.hpp"
+#include "mathx/constants.hpp"
+#include "mathx/unwrap.hpp"
+#include "phy/band_plan.hpp"
+
+namespace chronos::core {
+namespace {
+
+using mathx::kTwoPi;
+
+SparseSolveResult make_solution(const std::vector<double>& mags) {
+  SparseSolveResult s;
+  s.grid = {0.0, static_cast<double>(mags.size() - 1) * 1e-9, 1e-9};
+  for (double m : mags) s.coefficients.push_back({m, 0.0});
+  return s;
+}
+
+TEST(Profile, ExtractsIsolatedClusters) {
+  const auto sol = make_solution({0, 0, 1.0, 0.9, 0, 0, 0, 0, 0, 0.5, 0, 0});
+  ProfileOptions opts;
+  opts.merge_gap_s = 0.5e-9;  // 1 bin gap does not merge
+  const auto prof = extract_profile(sol, opts);
+  ASSERT_EQ(prof.peaks.size(), 2u);
+  EXPECT_NEAR(prof.peaks[0].delay_s, 2.47e-9, 0.1e-9);  // centroid of 2,3
+  EXPECT_NEAR(prof.peaks[0].amplitude, 1.0, 1e-12);
+  EXPECT_NEAR(prof.peaks[1].delay_s, 9e-9, 1e-12);
+}
+
+TEST(Profile, MergeGapJoinsNearbyClusters) {
+  const auto sol = make_solution({0, 1.0, 0, 0.8, 0, 0, 0, 0, 0, 0, 0, 0});
+  ProfileOptions opts;
+  opts.merge_gap_s = 2.5e-9;  // gaps of up to 2 bins merge
+  const auto prof = extract_profile(sol, opts);
+  ASSERT_EQ(prof.peaks.size(), 1u);
+  EXPECT_EQ(prof.peaks[0].first_bin, 1u);
+  EXPECT_EQ(prof.peaks[0].last_bin, 3u);
+}
+
+TEST(Profile, NoiseFloorSuppressesWeakBins) {
+  const auto sol = make_solution({0.001, 0, 1.0, 0, 0.002, 0, 0, 0, 0, 0});
+  ProfileOptions opts;
+  opts.noise_floor_fraction = 0.05;
+  const auto prof = extract_profile(sol, opts);
+  ASSERT_EQ(prof.peaks.size(), 1u);
+}
+
+TEST(Profile, FirstPeakSkipsWeakEarlyArtifacts) {
+  const auto sol = make_solution({0, 0.05, 0, 0, 1.0, 0, 0.7, 0, 0, 0});
+  const auto prof = extract_profile(sol);
+  const auto fp = first_peak(prof, 0.2);
+  ASSERT_TRUE(fp.has_value());
+  EXPECT_NEAR(fp->delay_s, 4e-9, 1e-12);
+}
+
+TEST(Profile, FirstPeakAcceptsWeakButSignificantDirect) {
+  const auto sol = make_solution({0, 0, 0.4, 0, 0, 1.0, 0, 0, 0, 0});
+  const auto prof = extract_profile(sol);
+  const auto fp = first_peak(prof, 0.3);
+  ASSERT_TRUE(fp.has_value());
+  EXPECT_NEAR(fp->delay_s, 2e-9, 1e-12);
+}
+
+TEST(Profile, DominantPeakCount) {
+  const auto sol =
+      make_solution({0, 1.0, 0, 0.5, 0, 0.3, 0, 0.15, 0, 0.04, 0, 0});
+  const auto prof = extract_profile(sol);
+  EXPECT_EQ(dominant_peak_count(prof, 0.2), 3u);
+  EXPECT_EQ(dominant_peak_count(prof, 0.1), 4u);
+}
+
+TEST(Profile, EmptyAndSilentInputs) {
+  SparseSolveResult s;
+  EXPECT_THROW((void)extract_profile(s), std::invalid_argument);
+  const auto silent = make_solution({0, 0, 0, 0});
+  const auto prof = extract_profile(silent);
+  EXPECT_TRUE(prof.peaks.empty());
+  EXPECT_FALSE(first_peak(prof).has_value());
+  EXPECT_EQ(dominant_peak_count(prof), 0u);
+}
+
+// --- combining ---------------------------------------------------------
+
+phy::SweepMeasurement two_band_sweep(double tau, double cfo_phase,
+                                     double lo_phase) {
+  phy::SweepMeasurement sweep;
+  for (int ch : {36, 1}) {
+    const auto band = phy::band_by_channel(ch);
+    phy::SweepMeasurement::BandCapture cap;
+    const auto idx = phy::intel5300_subcarrier_indices();
+    cap.forward.band = band;
+    cap.forward.direction = phy::Direction::kForward;
+    cap.forward.values.resize(30);
+    cap.reverse.band = band;
+    cap.reverse.direction = phy::Direction::kReverse;
+    cap.reverse.values.resize(30);
+    for (std::size_t k = 0; k < idx.size(); ++k) {
+      const double f = band.center_freq_hz + phy::subcarrier_offset_hz(idx[k]);
+      const std::complex<double> h = std::polar(1.0, -kTwoPi * f * tau);
+      cap.forward.values[k] = h * std::polar(1.0, cfo_phase + lo_phase);
+      cap.reverse.values[k] = h * std::polar(1.0, -(cfo_phase + lo_phase));
+    }
+    sweep.bands.push_back({cap});
+  }
+  return sweep;
+}
+
+TEST(Combining, TwoWayProductCancelsCommonPhaseErrors) {
+  const double tau = 10e-9;
+  const auto clean = two_band_sweep(tau, 0.0, 0.0);
+  const auto dirty = two_band_sweep(tau, 1.3, 2.1);
+  CombiningConfig cfg;
+  cfg.quirk_fix = false;
+  cfg.normalization = Normalization::kNone;
+  const auto a = combine_sweep(clean, cfg);
+  const auto b = combine_sweep(dirty, cfg);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(std::arg(a[i].value * std::conj(b[i].value)), 0.0, 1e-9);
+  }
+}
+
+TEST(Combining, OneWayKeepsPhaseErrors) {
+  const double tau = 10e-9;
+  const auto clean = two_band_sweep(tau, 0.0, 0.0);
+  const auto dirty = two_band_sweep(tau, 0.0, 1.0);
+  CombiningConfig cfg;
+  cfg.two_way = false;
+  cfg.quirk_fix = false;
+  cfg.normalization = Normalization::kNone;
+  const auto a = combine_sweep(clean, cfg);
+  const auto b = combine_sweep(dirty, cfg);
+  EXPECT_GT(std::abs(std::arg(a[0].value * std::conj(b[0].value))), 0.5);
+}
+
+TEST(Combining, QuirkFixSetsExponentAndRowFrequency) {
+  const auto sweep = two_band_sweep(5e-9, 0.0, 0.0);
+  CombiningConfig cfg;  // quirk_fix default on
+  const auto combined = combine_sweep(sweep, cfg);
+  ASSERT_EQ(combined.size(), 2u);
+  // Band order: channel 36 (5 GHz) then channel 1 (2.4 GHz).
+  EXPECT_EQ(combined[0].direction_exponent, 1);
+  EXPECT_DOUBLE_EQ(combined[0].row_freq_hz, 5.18e9);
+  EXPECT_EQ(combined[1].direction_exponent, 4);
+  EXPECT_DOUBLE_EQ(combined[1].row_freq_hz, 4.0 * 2.412e9);
+}
+
+TEST(Combining, CombinedPhaseMatchesRowFrequencyModel) {
+  const double tau = 7e-9;
+  const auto sweep = two_band_sweep(tau, 0.9, -0.4);
+  CombiningConfig cfg;
+  cfg.normalization = Normalization::kNone;
+  const auto combined = combine_sweep(sweep, cfg);
+  for (const auto& cb : combined) {
+    // Expected phase: -2*pi*row_freq*(2*tau) on the u axis.
+    const double expect = -kTwoPi * cb.row_freq_hz * 2.0 * tau;
+    EXPECT_NEAR(mathx::wrap_to_pi(std::arg(cb.value) - expect), 0.0, 1e-6);
+  }
+}
+
+TEST(Combining, UnitModulusNormalization) {
+  const auto sweep = two_band_sweep(5e-9, 0.0, 0.0);
+  CombiningConfig cfg;
+  cfg.normalization = Normalization::kUnitModulus;
+  for (const auto& cb : combine_sweep(sweep, cfg)) {
+    EXPECT_NEAR(std::abs(cb.value), 1.0, 1e-9);
+  }
+}
+
+TEST(Combining, BandAgcCapsMagnitude) {
+  auto sweep = two_band_sweep(5e-9, 0.0, 0.0);
+  // Inflate one band's center subcarriers to force a cap.
+  for (auto& v : sweep.bands[1][0].forward.values) v *= 3.0;
+  CombiningConfig cfg;
+  cfg.magnitude_cap = 1.5;
+  for (const auto& cb : combine_sweep(sweep, cfg)) {
+    EXPECT_LE(std::abs(cb.value), 1.5 + 1e-9);
+  }
+}
+
+TEST(Combining, DelayAxisScale) {
+  CombiningConfig two_way;
+  EXPECT_DOUBLE_EQ(delay_axis_scale(two_way), 2.0);
+  CombiningConfig one_way;
+  one_way.two_way = false;
+  EXPECT_DOUBLE_EQ(delay_axis_scale(one_way), 1.0);
+}
+
+TEST(Combining, CalibrationTableSizeMismatchThrows) {
+  const auto sweep = two_band_sweep(5e-9, 0.0, 0.0);
+  CalibrationTable table;
+  table.correction = {std::polar(1.0, 0.1)};  // one band, sweep has two
+  EXPECT_THROW((void)combine_sweep(sweep, {}, table), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace chronos::core

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "drone/controller.hpp"
+#include "drone/follow_sim.hpp"
+#include "drone/trajectory.hpp"
+
+namespace chronos::drone {
+namespace {
+
+TEST(Trajectory, InterpolatesBetweenWaypoints) {
+  mathx::Rng rng(1);
+  WaypointWalk walk(6.0, 5.0, 5, 0.5, rng);
+  EXPECT_GT(walk.duration_s(), 0.0);
+  const auto start = walk.position_at(0.0);
+  EXPECT_NEAR(start.x, walk.waypoints().front().x, 1e-12);
+  const auto end = walk.position_at(walk.duration_s() + 10.0);
+  EXPECT_NEAR(end.x, walk.waypoints().back().x, 1e-12);
+}
+
+TEST(Trajectory, SpeedIsRespected) {
+  mathx::Rng rng(2);
+  WaypointWalk walk(6.0, 5.0, 6, 0.5, rng);
+  const double dt = 0.1;
+  for (double t = 0.0; t + dt < walk.duration_s(); t += dt) {
+    const double step =
+        geom::distance(walk.position_at(t), walk.position_at(t + dt));
+    EXPECT_LE(step, 0.5 * dt + 1e-9);
+  }
+}
+
+TEST(Trajectory, StaysInsideRoomMargins) {
+  mathx::Rng rng(3);
+  WaypointWalk walk(6.0, 5.0, 10, 0.7, rng, 0.8);
+  for (double t = 0.0; t < walk.duration_s(); t += 0.2) {
+    const auto p = walk.position_at(t);
+    EXPECT_GE(p.x, 0.8 - 1e-9);
+    EXPECT_LE(p.x, 5.2 + 1e-9);
+    EXPECT_GE(p.y, 0.8 - 1e-9);
+    EXPECT_LE(p.y, 4.2 + 1e-9);
+  }
+}
+
+TEST(Trajectory, RejectsBadConfig) {
+  mathx::Rng rng(1);
+  EXPECT_THROW(WaypointWalk(6.0, 5.0, 1, 0.5, rng), std::invalid_argument);
+  EXPECT_THROW(WaypointWalk(6.0, 5.0, 4, 0.0, rng), std::invalid_argument);
+  EXPECT_THROW(WaypointWalk(1.0, 1.0, 4, 0.5, rng), std::invalid_argument);
+}
+
+TEST(Controller, FilterNeedsThreeSamples) {
+  ControllerConfig cfg;
+  RangeFilter filter(cfg);
+  EXPECT_FALSE(filter.push(1.4).has_value());
+  EXPECT_FALSE(filter.push(1.5).has_value());
+  EXPECT_TRUE(filter.push(1.45).has_value());
+}
+
+TEST(Controller, FilterRejectsOutliers) {
+  ControllerConfig cfg;
+  cfg.filter_window = 5;
+  cfg.outlier_cutoff_m = 0.4;
+  RangeFilter filter(cfg);
+  filter.push(1.40);
+  filter.push(1.42);
+  filter.push(1.38);
+  filter.push(9.0);  // a 50 ns ghost measurement
+  const auto est = filter.push(1.41);
+  ASSERT_TRUE(est.has_value());
+  EXPECT_NEAR(*est, 1.40, 0.03);  // the 9.0 sample is discarded
+}
+
+TEST(Controller, FilterSlidesWindow) {
+  ControllerConfig cfg;
+  cfg.filter_window = 3;
+  RangeFilter filter(cfg);
+  filter.push(1.0);
+  filter.push(1.0);
+  filter.push(1.0);
+  filter.push(2.0);
+  filter.push(2.0);
+  const auto est = filter.push(2.0);
+  ASSERT_TRUE(est.has_value());
+  EXPECT_NEAR(*est, 2.0, 1e-9);  // old samples aged out
+}
+
+TEST(Controller, StepSignAndClamp) {
+  ControllerConfig cfg;
+  cfg.target_distance_m = 1.4;
+  cfg.gain = 0.6;
+  cfg.max_step_m = 0.25;
+  // Too far -> positive step (toward user).
+  EXPECT_GT(control_step(cfg, 1.8), 0.0);
+  // Too close -> negative step (away).
+  EXPECT_LT(control_step(cfg, 1.0), 0.0);
+  // On target -> no move.
+  EXPECT_NEAR(control_step(cfg, 1.4), 0.0, 1e-12);
+  // Clamped.
+  EXPECT_NEAR(control_step(cfg, 10.0), 0.25, 1e-12);
+  EXPECT_NEAR(control_step(cfg, 0.0), -0.25, 1e-12);
+}
+
+TEST(Controller, ProportionalRegion) {
+  ControllerConfig cfg;
+  EXPECT_NEAR(control_step(cfg, 1.5), 0.09, 1e-9);
+}
+
+TEST(FollowSim, HoldsTargetDistance) {
+  FollowSimConfig cfg;
+  cfg.duration_s = 12.0;
+  cfg.user_waypoints = 3;
+  mathx::Rng rng(4);
+  const auto run = run_follow_simulation(cfg, rng);
+  ASSERT_FALSE(run.trace.empty());
+  ASSERT_FALSE(run.distance_deviation_m.empty());
+  // The controller holds 1.4 m to well under 20 cm RMS in simulation
+  // (paper: 4.2 cm with a real quadrotor).
+  EXPECT_LT(run.rms_deviation_m, 0.2);
+  // And the trace's second half stays close to target.
+  for (std::size_t i = run.trace.size() / 2; i < run.trace.size(); ++i) {
+    EXPECT_NEAR(run.trace[i].true_distance_m, 1.4, 0.6);
+  }
+}
+
+}  // namespace
+}  // namespace chronos::drone

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geom/image_source.hpp"
+
+namespace chronos::geom {
+namespace {
+
+TEST(ImageSource, MirrorAcrossHorizontalWall) {
+  const Wall w{{0.0, 0.0}, {10.0, 0.0}, 0.5};
+  const Vec2 m = mirror_across(w, {3.0, 2.0});
+  EXPECT_NEAR(m.x, 3.0, 1e-12);
+  EXPECT_NEAR(m.y, -2.0, 1e-12);
+}
+
+TEST(ImageSource, MirrorAcrossDiagonalWall) {
+  const Wall w{{0.0, 0.0}, {1.0, 1.0}, 0.5};
+  const Vec2 m = mirror_across(w, {1.0, 0.0});
+  EXPECT_NEAR(m.x, 0.0, 1e-12);
+  EXPECT_NEAR(m.y, 1.0, 1e-12);
+}
+
+TEST(ImageSource, SegmentIntersectionBasics) {
+  const Wall w{{0.0, -1.0}, {0.0, 1.0}, 0.5};
+  const auto hit = segment_intersection({-1.0, 0.0}, {1.0, 0.0}, w);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_NEAR(hit->x, 0.0, 1e-12);
+  EXPECT_NEAR(hit->y, 0.0, 1e-12);
+
+  EXPECT_FALSE(segment_intersection({1.0, 0.0}, {2.0, 0.0}, w).has_value());
+  const Wall parallel{{0.0, 5.0}, {1.0, 5.0}, 0.5};
+  EXPECT_FALSE(
+      segment_intersection({0.0, 0.0}, {1.0, 0.0}, parallel).has_value());
+}
+
+TEST(ImageSource, DirectPathOnly) {
+  const auto paths = enumerate_paths({0.0, 0.0}, {3.0, 4.0}, {}, {}, 2);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_NEAR(paths[0].length, 5.0, 1e-12);
+  EXPECT_EQ(paths[0].bounces, 0);
+  EXPECT_NEAR(paths[0].reflection_loss, 1.0, 1e-12);
+}
+
+TEST(ImageSource, FirstOrderReflectionLengthMatchesMirrorDistance) {
+  // One wall below: the reflected path length equals the distance from the
+  // mirrored transmitter to the receiver.
+  const Wall floor{{-100.0, 0.0}, {100.0, 0.0}, 0.36};
+  const Vec2 tx{0.0, 1.0}, rx{4.0, 1.0};
+  const auto paths = enumerate_paths(tx, rx, {floor}, {}, 1);
+  ASSERT_EQ(paths.size(), 2u);  // direct + one bounce
+  const double mirror_dist = distance(mirror_across(floor, tx), rx);
+  EXPECT_NEAR(paths[1].length, mirror_dist, 1e-9);
+  EXPECT_EQ(paths[1].bounces, 1);
+  EXPECT_NEAR(paths[1].reflection_loss, 0.36, 1e-12);
+}
+
+TEST(ImageSource, ReflectionRequiresSpecularPointOnSegment) {
+  // Short wall far to the side: no valid specular point.
+  const Wall wall{{10.0, 0.0}, {11.0, 0.0}, 0.5};
+  const auto paths =
+      enumerate_paths({0.0, 1.0}, {1.0, 1.0}, {wall}, {}, 1);
+  EXPECT_EQ(paths.size(), 1u);  // direct only
+}
+
+TEST(ImageSource, SecondOrderBetweenParallelWalls) {
+  const Wall floor{{-100.0, 0.0}, {100.0, 0.0}, 0.5};
+  const Wall ceiling{{-100.0, 3.0}, {100.0, 3.0}, 0.5};
+  const auto paths =
+      enumerate_paths({0.0, 1.0}, {6.0, 1.0}, {floor, ceiling}, {}, 2);
+  // direct + 2 first-order + 2 second-order (floor-ceiling, ceiling-floor)
+  EXPECT_EQ(paths.size(), 5u);
+  int second_order = 0;
+  for (const auto& p : paths) {
+    if (p.bounces == 2) {
+      ++second_order;
+      EXPECT_NEAR(p.reflection_loss, 0.25, 1e-12);
+    }
+  }
+  EXPECT_EQ(second_order, 2);
+}
+
+TEST(ImageSource, PathsSortedByLength) {
+  const Wall floor{{-100.0, 0.0}, {100.0, 0.0}, 0.5};
+  const Wall ceiling{{-100.0, 5.0}, {100.0, 5.0}, 0.5};
+  const auto paths =
+      enumerate_paths({0.0, 1.0}, {8.0, 1.5}, {floor, ceiling}, {}, 2);
+  for (std::size_t i = 1; i < paths.size(); ++i) {
+    EXPECT_GE(paths[i].length, paths[i - 1].length);
+  }
+  EXPECT_EQ(paths.front().bounces, 0);
+}
+
+TEST(ImageSource, BlockerAttenuatesCrossingPaths) {
+  const Wall blocker{{2.0, -1.0}, {2.0, 1.0}, 0.4};
+  const auto paths =
+      enumerate_paths({0.0, 0.0}, {4.0, 0.0}, {}, {blocker}, 0);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_NEAR(paths[0].reflection_loss, 0.4, 1e-12);
+}
+
+TEST(ImageSource, BlockerDoesNotAffectNonCrossingPaths) {
+  const Wall blocker{{2.0, 5.0}, {2.0, 7.0}, 0.4};
+  const auto paths =
+      enumerate_paths({0.0, 0.0}, {4.0, 0.0}, {}, {blocker}, 0);
+  EXPECT_NEAR(paths[0].reflection_loss, 1.0, 1e-12);
+}
+
+TEST(ImageSource, InvalidOrderThrows) {
+  EXPECT_THROW((void)enumerate_paths({0, 0}, {1, 0}, {}, {}, 5),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace chronos::geom

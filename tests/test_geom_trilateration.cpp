@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "geom/trilateration.hpp"
+#include "mathx/rng.hpp"
+
+namespace chronos::geom {
+namespace {
+
+std::vector<RangeMeasurement> ranges_from(const std::vector<Vec2>& anchors,
+                                          const Vec2& truth) {
+  std::vector<RangeMeasurement> out;
+  for (const auto& a : anchors) out.push_back({a, distance(a, truth)});
+  return out;
+}
+
+TEST(Trilateration, ExactRecoveryThreeAnchors) {
+  const std::vector<Vec2> anchors = {{0.0, 0.0}, {4.0, 0.0}, {0.0, 3.0}};
+  const Vec2 truth{1.5, 1.0};
+  const auto r = trilaterate(ranges_from(anchors, truth));
+  EXPECT_NEAR(r.position.x, truth.x, 1e-6);
+  EXPECT_NEAR(r.position.y, truth.y, 1e-6);
+  EXPECT_LT(r.residual_rms, 1e-6);
+}
+
+TEST(Trilateration, ExactRecoveryManyAnchors) {
+  const std::vector<Vec2> anchors = {
+      {0.0, 0.0}, {5.0, 0.0}, {5.0, 5.0}, {0.0, 5.0}, {2.0, 7.0}};
+  const Vec2 truth{3.3, 2.7};
+  const auto r = trilaterate(ranges_from(anchors, truth));
+  EXPECT_NEAR(r.position.x, truth.x, 1e-6);
+  EXPECT_NEAR(r.position.y, truth.y, 1e-6);
+}
+
+TEST(Trilateration, NoisyRangesStayNearTruth) {
+  const std::vector<Vec2> anchors = {{0.0, 0.0}, {4.0, 0.0}, {2.0, 3.0}};
+  const Vec2 truth{1.0, 1.2};
+  mathx::Rng rng(5);
+  auto ranges = ranges_from(anchors, truth);
+  for (auto& r : ranges) r.range += rng.normal(0.0, 0.05);
+  const auto fit = trilaterate(ranges);
+  EXPECT_LT(distance(fit.position, truth), 0.3);
+}
+
+TEST(Trilateration, RefineConvergesFromNearbyGuess) {
+  const std::vector<Vec2> anchors = {{0.0, 0.0}, {4.0, 0.0}, {0.0, 4.0}};
+  const Vec2 truth{2.0, 2.0};
+  const auto ranges = ranges_from(anchors, truth);
+  const auto fit = refine(ranges, {2.3, 1.8});
+  EXPECT_TRUE(fit.converged);
+  EXPECT_LT(distance(fit.position, truth), 1e-6);
+}
+
+TEST(Trilateration, TwoAnchorsBothSidesAreMirrors) {
+  const RangeMeasurement a{{0.0, 0.0}, 5.0};
+  const RangeMeasurement b{{6.0, 0.0}, 5.0};
+  const auto [pos, neg] = solve_both_sides(a, b);
+  EXPECT_NEAR(pos.position.x, neg.position.x, 1e-6);
+  EXPECT_NEAR(pos.position.y, -neg.position.y, 1e-5);
+  EXPECT_NEAR(std::abs(pos.position.y), 4.0, 1e-5);
+}
+
+TEST(Trilateration, TwoAnchorsDisjointCirclesStillProduceEstimate) {
+  const RangeMeasurement a{{0.0, 0.0}, 1.0};
+  const RangeMeasurement b{{10.0, 0.0}, 2.0};
+  const auto [pos, neg] = solve_both_sides(a, b);
+  // Least-squares point sits between the circles on the baseline.
+  EXPECT_GT(pos.position.x, 0.5);
+  EXPECT_LT(pos.position.x, 9.0);
+  (void)neg;
+}
+
+TEST(Trilateration, RequiresTwoRanges) {
+  const std::vector<RangeMeasurement> one = {{{0.0, 0.0}, 1.0}};
+  EXPECT_THROW((void)trilaterate(one), std::invalid_argument);
+}
+
+TEST(Trilateration, AnchorCoincidentWithSolutionIsStable) {
+  const std::vector<Vec2> anchors = {{0.0, 0.0}, {4.0, 0.0}, {1.0, 2.0}};
+  // Truth exactly on an anchor: range 0 from that anchor.
+  const Vec2 truth{1.0, 2.0};
+  const auto fit = trilaterate(ranges_from(anchors, truth));
+  EXPECT_LT(distance(fit.position, truth), 1e-4);
+}
+
+// Property sweep: exact recovery across positions in the anchor hull.
+class TrilaterationSweep
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(TrilaterationSweep, RecoversPositionInsideHull) {
+  const auto [x, y] = GetParam();
+  const std::vector<Vec2> anchors = {
+      {0.0, 0.0}, {6.0, 0.0}, {6.0, 6.0}, {0.0, 6.0}};
+  const Vec2 truth{x, y};
+  const auto fit = trilaterate(ranges_from(anchors, truth));
+  EXPECT_LT(distance(fit.position, truth), 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Positions, TrilaterationSweep,
+    ::testing::Values(std::make_pair(1.0, 1.0), std::make_pair(3.0, 3.0),
+                      std::make_pair(5.5, 0.5), std::make_pair(0.2, 5.8),
+                      std::make_pair(2.0, 4.5)));
+
+}  // namespace
+}  // namespace chronos::geom

@@ -1,0 +1,130 @@
+// Cross-module integration and property tests: the invariants that make
+// Chronos work, checked end-to-end through the real pipeline rather than
+// unit by unit.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/engine.hpp"
+#include "mathx/constants.hpp"
+#include "mathx/stats.hpp"
+#include "sim/scenario.hpp"
+
+namespace chronos {
+namespace {
+
+// Property: sweeping distance, the recovered ToF scales linearly (no
+// ambiguity wraps, no systematic drift) across the gated pipeline.
+class DistanceLinearity : public ::testing::TestWithParam<double> {};
+
+TEST_P(DistanceLinearity, TofTracksDistance) {
+  const double d = GetParam();
+  core::EngineConfig ec;
+  core::ChronosEngine eng(sim::anechoic(), ec);
+  mathx::Rng rng(13);
+  eng.calibrate(sim::make_mobile({0.0, 0.0}, 11),
+                sim::make_mobile({1.0, 0.0}, 22), rng);
+  const auto r = eng.measure_distance(sim::make_mobile({0.0, 0.0}, 11), 0,
+                                      sim::make_mobile({d, 0.0}, 22), 0, rng);
+  ASSERT_TRUE(r.peak_found);
+  EXPECT_NEAR(r.distance_m, d, 0.05 + 0.01 * d);
+}
+
+INSTANTIATE_TEST_SUITE_P(Distances, DistanceLinearity,
+                         ::testing::Values(1.0, 2.5, 4.0, 6.5, 9.0, 12.0,
+                                           15.0, 18.0));
+
+// Property: reciprocity — swapping transmitter and receiver roles yields
+// the same distance (each direction is measured anyway; roles only change
+// who initiates).
+TEST(Integration, RoleSwapGivesSameDistance) {
+  core::EngineConfig ec;
+  core::ChronosEngine eng(sim::office_20x20(), ec);
+  mathx::Rng rng(17);
+  const auto a = sim::make_mobile({3.0, 4.0}, 11);
+  const auto b = sim::make_mobile({8.0, 9.0}, 22);
+  eng.calibrate(a, b, rng);
+  const auto ab = eng.measure_distance(a, 0, b, 0, rng);
+  const auto ba = eng.measure_distance(b, 0, a, 0, rng);
+  ASSERT_TRUE(ab.peak_found);
+  ASSERT_TRUE(ba.peak_found);
+  EXPECT_NEAR(ab.distance_m, ba.distance_m, 0.4);
+}
+
+// Property: repeated measurements of a static link are consistent — the
+// spread across sweeps is far below the absolute accuracy requirement.
+TEST(Integration, RepeatedMeasurementsAreStable) {
+  core::EngineConfig ec;
+  core::ChronosEngine eng(sim::office_20x20(), ec);
+  mathx::Rng rng(19);
+  const auto tx = sim::make_mobile({4.0, 3.0}, 11);
+  const auto rx = sim::make_mobile({9.0, 7.0}, 22);
+  eng.calibrate(tx, rx, rng);
+  std::vector<double> estimates;
+  for (int i = 0; i < 8; ++i) {
+    estimates.push_back(eng.measure_distance(tx, 0, rx, 0, rng).distance_m);
+  }
+  EXPECT_LT(mathx::stddev(estimates), 0.15);
+}
+
+// Property: the ToF estimate never reports the detection delay — the whole
+// point of §5. ToA (slope) and ToF must differ by ~the detection pipeline.
+TEST(Integration, TofIsFreeOfDetectionDelay) {
+  core::EngineConfig ec;
+  core::ChronosEngine eng(sim::office_20x20(), ec);
+  mathx::Rng rng(23);
+  const auto tx = sim::make_mobile({3.0, 3.0}, 11);
+  const auto rx = sim::make_mobile({7.0, 6.0}, 22);
+  eng.calibrate(tx, rx, rng);
+  const auto r = eng.measure_distance(tx, 0, rx, 0, rng);
+  ASSERT_TRUE(r.peak_found);
+  EXPECT_LT(r.tof_s, 60e-9);        // a real indoor ToF
+  EXPECT_GT(r.toa_s, 150e-9);       // raw arrival includes ~180 ns delay
+  EXPECT_GT(r.detection_delay_s, 100e-9);
+}
+
+// Property: localization error grows when the receive baseline shrinks
+// (paper §10) — checked end-to-end on identical placements.
+TEST(Integration, SmallerBaselineIsWorse) {
+  const auto scen = sim::office_testbed(42);
+  double err_small_total = 0.0, err_large_total = 0.0;
+  for (int trial = 0; trial < 6; ++trial) {
+    mathx::Rng rng(100 + trial);
+    const auto pl = scen.sample_pair_los(rng, 2.0, 10.0);
+    for (const double sep : {0.15, 1.2}) {
+      core::EngineConfig ec;
+      core::ChronosEngine eng(scen.environment(), ec);
+      mathx::Rng cal_rng(5);
+      eng.calibrate(sim::make_mobile({0.0, 0.0}, 11),
+                    sim::make_laptop({1.5, 0.0}, sep, 22), cal_rng);
+      const auto out = eng.locate(sim::make_mobile(pl.tx, 11),
+                                  sim::make_laptop(pl.rx, sep, 22), rng);
+      if (!out.result.valid) continue;
+      const double err = geom::distance(out.result.position, pl.tx);
+      (sep < 0.5 ? err_small_total : err_large_total) += err;
+    }
+  }
+  EXPECT_GT(err_small_total, err_large_total);
+}
+
+// Property: every profile the pipeline produces on real workloads is
+// sparse in the paper's sense (a handful of dominant peaks, not a smear).
+TEST(Integration, ProfilesStaySparse) {
+  const auto scen = sim::office_testbed(42);
+  core::EngineConfig ec;
+  core::ChronosEngine eng(scen.environment(), ec);
+  mathx::Rng rng(29);
+  eng.calibrate(sim::make_mobile({0.0, 0.0}, 11),
+                sim::make_mobile({1.0, 0.0}, 22), rng);
+  for (int i = 0; i < 6; ++i) {
+    const auto pl = scen.sample_pair(rng, 1.0, 12.0);
+    const auto r = eng.measure_distance(sim::make_mobile(pl.tx, 11), 0,
+                                        sim::make_mobile(pl.rx, 22), 0, rng);
+    const auto dominant = core::dominant_peak_count(r.profile, 0.2);
+    EXPECT_GE(dominant, 1u);
+    EXPECT_LE(dominant, 16u);
+  }
+}
+
+}  // namespace
+}  // namespace chronos

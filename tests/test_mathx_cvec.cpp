@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mathx/constants.hpp"
+#include "mathx/cvec.hpp"
+#include "mathx/unwrap.hpp"
+
+namespace chronos::mathx {
+namespace {
+
+TEST(Cvec, AnglesAndMagnitudes) {
+  cvec v = {{1.0, 0.0}, {0.0, 2.0}, {-3.0, 0.0}};
+  const auto a = angles(v);
+  const auto m = magnitudes(v);
+  EXPECT_NEAR(a[0], 0.0, 1e-12);
+  EXPECT_NEAR(a[1], kPi / 2.0, 1e-12);
+  EXPECT_NEAR(std::abs(a[2]), kPi, 1e-12);
+  EXPECT_NEAR(m[0], 1.0, 1e-12);
+  EXPECT_NEAR(m[1], 2.0, 1e-12);
+  EXPECT_NEAR(m[2], 3.0, 1e-12);
+}
+
+TEST(Cvec, Norms) {
+  cvec v = {{3.0, 4.0}, {0.0, 0.0}};
+  EXPECT_NEAR(norm2_sq(v), 25.0, 1e-12);
+  EXPECT_NEAR(norm2(v), 5.0, 1e-12);
+}
+
+TEST(Cvec, InnerProductConjugatesFirstArgument) {
+  cvec a = {{0.0, 1.0}};
+  cvec b = {{0.0, 1.0}};
+  const cplx ip = inner(a, b);
+  EXPECT_NEAR(ip.real(), 1.0, 1e-12);
+  EXPECT_NEAR(ip.imag(), 0.0, 1e-12);
+}
+
+TEST(Cvec, InnerSizeMismatchThrows) {
+  cvec a = {{1.0, 0.0}};
+  cvec b = {{1.0, 0.0}, {2.0, 0.0}};
+  EXPECT_THROW((void)inner(a, b), std::invalid_argument);
+}
+
+TEST(Cvec, Hadamard) {
+  cvec a = {{1.0, 1.0}, {2.0, 0.0}};
+  cvec b = {{1.0, -1.0}, {0.0, 3.0}};
+  const auto h = hadamard(a, b);
+  EXPECT_NEAR(h[0].real(), 2.0, 1e-12);
+  EXPECT_NEAR(h[0].imag(), 0.0, 1e-12);
+  EXPECT_NEAR(h[1].imag(), 6.0, 1e-12);
+}
+
+TEST(Cvec, ElementwisePowMatchesRepeatedMultiply) {
+  cvec v = {std::polar(1.0, 0.3), std::polar(0.5, -1.2)};
+  const auto p4 = elementwise_pow(v, 4);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    const cplx expect = v[i] * v[i] * v[i] * v[i];
+    EXPECT_NEAR(std::abs(p4[i] - expect), 0.0, 1e-12);
+  }
+}
+
+TEST(Cvec, ElementwisePowRejectsNonPositive) {
+  cvec v = {{1.0, 0.0}};
+  EXPECT_THROW((void)elementwise_pow(v, 0), std::invalid_argument);
+}
+
+TEST(Cvec, FromPhasesRoundTrips) {
+  std::vector<double> theta = {0.0, 1.0, -2.5};
+  const auto v = from_phases(theta);
+  const auto a = angles(v);
+  for (std::size_t i = 0; i < theta.size(); ++i) {
+    EXPECT_NEAR(a[i], theta[i], 1e-12);
+    EXPECT_NEAR(std::abs(v[i]), 1.0, 1e-12);
+  }
+}
+
+TEST(Cvec, MaxAbsDiff) {
+  cvec a = {{1.0, 0.0}, {2.0, 0.0}};
+  cvec b = {{1.0, 0.0}, {2.0, 1.0}};
+  EXPECT_NEAR(max_abs_diff(a, b), 1.0, 1e-12);
+}
+
+// --- unwrap ---------------------------------------------------------------
+
+TEST(Unwrap, PassesThroughSmoothSequence) {
+  std::vector<double> phases = {0.0, 0.5, 1.0, 1.4};
+  const auto u = unwrap(phases);
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    EXPECT_NEAR(u[i], phases[i], 1e-12);
+  }
+}
+
+TEST(Unwrap, RecoversLinearRamp) {
+  // A steep phase ramp wrapped into (-pi, pi] must unwrap back to a line.
+  const double slope = 2.1;  // rad per step > tolerance when wrapped
+  std::vector<double> wrapped;
+  for (int i = 0; i < 40; ++i) {
+    wrapped.push_back(wrap_to_pi(-slope * i));
+  }
+  const auto u = unwrap(wrapped);
+  for (int i = 0; i < 40; ++i) {
+    EXPECT_NEAR(u[i], -slope * i, 1e-9) << "at " << i;
+  }
+}
+
+TEST(Unwrap, HandlesMultipleWrapJumps) {
+  // Jump of nearly 4*pi between consecutive samples.
+  std::vector<double> phases = {0.0, wrap_to_pi(3.9 * kPi)};
+  const auto u = unwrap(phases);
+  EXPECT_NEAR(std::fmod(u[1] - phases[1], kTwoPi), 0.0, 1e-9);
+  EXPECT_LT(std::abs(u[1] - u[0]), kPi);
+}
+
+TEST(Unwrap, WrapToPiRange) {
+  for (double x : {-10.0, -3.2, 0.0, 3.2, 10.0, 100.0}) {
+    const double w = wrap_to_pi(x);
+    EXPECT_GT(w, -kPi - 1e-12);
+    EXPECT_LE(w, kPi + 1e-12);
+    EXPECT_NEAR(std::remainder(w - x, kTwoPi), 0.0, 1e-9);
+  }
+}
+
+TEST(Unwrap, WrapToPeriod) {
+  EXPECT_NEAR(wrap_to_period(5.5, 2.0), 1.5, 1e-12);
+  EXPECT_NEAR(wrap_to_period(-0.5, 2.0), 1.5, 1e-12);
+  EXPECT_NEAR(wrap_to_period(4.0, 2.0), 0.0, 1e-12);
+  EXPECT_THROW((void)wrap_to_period(1.0, 0.0), std::invalid_argument);
+}
+
+class UnwrapSlopeSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(UnwrapSlopeSweep, RecoversSlopeBelowNyquist) {
+  // Any slope magnitude below pi per step unwraps exactly.
+  const double slope = GetParam();
+  std::vector<double> wrapped;
+  for (int i = 0; i < 64; ++i) wrapped.push_back(wrap_to_pi(slope * i));
+  const auto u = unwrap(wrapped);
+  const double est_slope = (u.back() - u.front()) / 63.0;
+  EXPECT_NEAR(est_slope, slope, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Slopes, UnwrapSlopeSweep,
+                         ::testing::Values(-3.0, -1.7, -0.4, 0.0, 0.4, 1.7,
+                                           2.9));
+
+}  // namespace
+}  // namespace chronos::mathx

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+
+#include "mathx/constants.hpp"
+#include "mathx/cvec.hpp"
+#include "mathx/fft.hpp"
+#include "mathx/rng.hpp"
+
+namespace chronos::mathx {
+namespace {
+
+cvec random_signal(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  cvec v(n);
+  for (auto& z : v) z = rng.complex_gaussian(1.0);
+  return v;
+}
+
+class FftSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftSizes, MatchesReferenceDft) {
+  const std::size_t n = GetParam();
+  const auto x = random_signal(n, 42 + n);
+  const auto fast = fft(x);
+  const auto ref = dft_reference(x);
+  ASSERT_EQ(fast.size(), ref.size());
+  EXPECT_LT(max_abs_diff(fast, ref), 1e-8 * static_cast<double>(n));
+}
+
+TEST_P(FftSizes, InverseRoundTrips) {
+  const std::size_t n = GetParam();
+  const auto x = random_signal(n, 17 + n);
+  const auto y = ifft(fft(x));
+  EXPECT_LT(max_abs_diff(x, y), 1e-9 * static_cast<double>(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(PowersAndOddballs, FftSizes,
+                         ::testing::Values(1, 2, 4, 8, 16, 64, 3, 5, 7, 12,
+                                           29, 30, 53, 100));
+
+TEST(Fft, ImpulseGivesFlatSpectrum) {
+  cvec x(16, {0.0, 0.0});
+  x[0] = {1.0, 0.0};
+  const auto y = fft(x);
+  for (const auto& v : y) {
+    EXPECT_NEAR(v.real(), 1.0, 1e-12);
+    EXPECT_NEAR(v.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, SingleToneLandsInOneBin) {
+  const std::size_t n = 64;
+  const std::size_t k0 = 5;
+  cvec x(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    x[t] = std::polar(1.0, kTwoPi * static_cast<double>(k0 * t) /
+                               static_cast<double>(n));
+  }
+  const auto y = fft(x);
+  for (std::size_t k = 0; k < n; ++k) {
+    const double mag = std::abs(y[k]);
+    if (k == k0) {
+      EXPECT_NEAR(mag, static_cast<double>(n), 1e-8);
+    } else {
+      EXPECT_LT(mag, 1e-8);
+    }
+  }
+}
+
+TEST(Fft, ParsevalHolds) {
+  const auto x = random_signal(48, 7);
+  const auto y = fft(x);
+  EXPECT_NEAR(norm2_sq(y), 48.0 * norm2_sq(x), 1e-6 * norm2_sq(y));
+}
+
+TEST(Fft, LinearityHolds) {
+  const auto a = random_signal(32, 1);
+  const auto b = random_signal(32, 2);
+  cvec sum(32);
+  for (std::size_t i = 0; i < 32; ++i) sum[i] = a[i] + 2.0 * b[i];
+  const auto fs = fft(sum);
+  const auto fa = fft(a);
+  const auto fb = fft(b);
+  for (std::size_t i = 0; i < 32; ++i) {
+    EXPECT_NEAR(std::abs(fs[i] - (fa[i] + 2.0 * fb[i])), 0.0, 1e-8);
+  }
+}
+
+TEST(Fft, Pow2InPlaceMatchesGeneric) {
+  auto x = random_signal(128, 3);
+  auto copy = x;
+  fft_pow2(copy);
+  const auto ref = fft(x);
+  EXPECT_LT(max_abs_diff(copy, ref), 1e-8);
+}
+
+TEST(Fft, EmptyInputThrows) {
+  cvec empty;
+  EXPECT_THROW((void)fft(empty), std::invalid_argument);
+  EXPECT_THROW((void)ifft(empty), std::invalid_argument);
+}
+
+TEST(Fft, NonPow2InPlaceThrows) {
+  cvec x(12, {1.0, 0.0});
+  EXPECT_THROW(fft_pow2(x), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace chronos::mathx

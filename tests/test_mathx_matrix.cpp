@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+
+#include "mathx/cvec.hpp"
+#include "mathx/matrix.hpp"
+
+namespace chronos::mathx {
+namespace {
+
+TEST(Matrix, ConstructionAndIndexing) {
+  RealMatrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  m(1, 2) = 5.0;
+  EXPECT_EQ(m(1, 2), 5.0);
+  EXPECT_EQ(m(0, 0), 0.0);
+}
+
+TEST(Matrix, DataConstructorValidatesSize) {
+  EXPECT_THROW(RealMatrix(2, 2, {1.0, 2.0, 3.0}), std::invalid_argument);
+}
+
+TEST(Matrix, Identity) {
+  const auto id = RealMatrix::identity(3);
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 3; ++j)
+      EXPECT_EQ(id(i, j), i == j ? 1.0 : 0.0);
+}
+
+TEST(Matrix, MatVec) {
+  RealMatrix m(2, 2, {1.0, 2.0, 3.0, 4.0});
+  const std::vector<double> x = {1.0, -1.0};
+  const auto y = m.multiply(x);
+  EXPECT_NEAR(y[0], -1.0, 1e-12);
+  EXPECT_NEAR(y[1], -1.0, 1e-12);
+}
+
+TEST(Matrix, AdjointMatVecIsConjugateTranspose) {
+  ComplexMatrix m(1, 2);
+  m(0, 0) = {0.0, 1.0};
+  m(0, 1) = {2.0, 0.0};
+  const std::vector<std::complex<double>> x = {{1.0, 0.0}};
+  const auto y = m.multiply_adjoint(x);
+  EXPECT_NEAR(y[0].imag(), -1.0, 1e-12);  // conj(j) = -j
+  EXPECT_NEAR(y[1].real(), 2.0, 1e-12);
+}
+
+TEST(Matrix, MatMul) {
+  RealMatrix a(2, 2, {1.0, 2.0, 3.0, 4.0});
+  RealMatrix b(2, 2, {0.0, 1.0, 1.0, 0.0});
+  const auto c = a.multiply(b);
+  EXPECT_NEAR(c(0, 0), 2.0, 1e-12);
+  EXPECT_NEAR(c(0, 1), 1.0, 1e-12);
+  EXPECT_NEAR(c(1, 0), 4.0, 1e-12);
+  EXPECT_NEAR(c(1, 1), 3.0, 1e-12);
+}
+
+TEST(Matrix, FrobeniusNorm) {
+  RealMatrix m(2, 2, {1.0, 2.0, 2.0, 4.0});
+  EXPECT_NEAR(m.frobenius_norm(), 5.0, 1e-12);
+}
+
+TEST(LeastSquares, ExactSquareSystem) {
+  RealMatrix a(2, 2, {2.0, 0.0, 0.0, 3.0});
+  const std::vector<double> b = {4.0, 9.0};
+  const auto x = solve_least_squares(a, b);
+  EXPECT_NEAR(x[0], 2.0, 1e-10);
+  EXPECT_NEAR(x[1], 3.0, 1e-10);
+}
+
+TEST(LeastSquares, OverdeterminedRecoversLineFit) {
+  // Fit y = 2x + 1 through noiseless samples.
+  const std::size_t n = 10;
+  RealMatrix a(n, 2);
+  std::vector<double> b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a(i, 0) = static_cast<double>(i);
+    a(i, 1) = 1.0;
+    b[i] = 2.0 * static_cast<double>(i) + 1.0;
+  }
+  const auto x = solve_least_squares(a, b);
+  EXPECT_NEAR(x[0], 2.0, 1e-10);
+  EXPECT_NEAR(x[1], 1.0, 1e-10);
+}
+
+TEST(LeastSquares, MinimisesResidualAgainstPerturbations) {
+  RealMatrix a(4, 2, {1.0, 0.0, 0.0, 1.0, 1.0, 1.0, 1.0, -1.0});
+  const std::vector<double> b = {1.0, 2.0, 2.5, -0.5};
+  const auto x = solve_least_squares(a, b);
+  auto residual_norm = [&](double dx, double dy) {
+    double acc = 0.0;
+    const double xs[2] = {x[0] + dx, x[1] + dy};
+    for (std::size_t i = 0; i < 4; ++i) {
+      const double r = a(i, 0) * xs[0] + a(i, 1) * xs[1] - b[i];
+      acc += r * r;
+    }
+    return acc;
+  };
+  const double base = residual_norm(0.0, 0.0);
+  for (double d : {-0.01, 0.01}) {
+    EXPECT_GE(residual_norm(d, 0.0), base);
+    EXPECT_GE(residual_norm(0.0, d), base);
+  }
+}
+
+TEST(LeastSquares, RankDeficientThrows) {
+  RealMatrix a(3, 2, {1.0, 0.0, 2.0, 0.0, 3.0, 0.0});
+  const std::vector<double> b = {1.0, 2.0, 3.0};
+  EXPECT_THROW((void)solve_least_squares(a, b), std::invalid_argument);
+}
+
+TEST(SolveLinear, PivotingHandlesZeroDiagonal) {
+  RealMatrix a(2, 2, {0.0, 1.0, 1.0, 0.0});
+  const std::vector<double> b = {3.0, 7.0};
+  const auto x = solve_linear(a, b);
+  EXPECT_NEAR(x[0], 7.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(SolveLinear, SingularThrows) {
+  RealMatrix a(2, 2, {1.0, 2.0, 2.0, 4.0});
+  const std::vector<double> b = {1.0, 2.0};
+  EXPECT_THROW((void)solve_linear(a, b), std::invalid_argument);
+}
+
+TEST(SpectralNorm, DiagonalMatrix) {
+  ComplexMatrix m(2, 2);
+  m(0, 0) = {3.0, 0.0};
+  m(1, 1) = {1.0, 0.0};
+  EXPECT_NEAR(spectral_norm(m), 3.0, 1e-6);
+}
+
+TEST(SpectralNorm, UnitaryHasNormOne) {
+  ComplexMatrix m(2, 2);
+  const double s = 1.0 / std::sqrt(2.0);
+  m(0, 0) = {s, 0.0};
+  m(0, 1) = {s, 0.0};
+  m(1, 0) = {s, 0.0};
+  m(1, 1) = {-s, 0.0};
+  EXPECT_NEAR(spectral_norm(m), 1.0, 1e-6);
+}
+
+TEST(HermitianEigen, DiagonalEigenvaluesSortedAscending) {
+  ComplexMatrix m(3, 3);
+  m(0, 0) = {5.0, 0.0};
+  m(1, 1) = {-1.0, 0.0};
+  m(2, 2) = {2.0, 0.0};
+  const auto vals = hermitian_eigen(m);
+  ASSERT_EQ(vals.size(), 3u);
+  EXPECT_NEAR(vals[0], -1.0, 1e-9);
+  EXPECT_NEAR(vals[1], 2.0, 1e-9);
+  EXPECT_NEAR(vals[2], 5.0, 1e-9);
+}
+
+TEST(HermitianEigen, ComplexPauliYEigenvalues) {
+  // sigma_y = [[0, -j], [j, 0]] has eigenvalues -1, +1.
+  ComplexMatrix m(2, 2);
+  m(0, 1) = {0.0, -1.0};
+  m(1, 0) = {0.0, 1.0};
+  const auto vals = hermitian_eigen(m);
+  EXPECT_NEAR(vals[0], -1.0, 1e-9);
+  EXPECT_NEAR(vals[1], 1.0, 1e-9);
+}
+
+TEST(HermitianEigen, EigenvectorsSatisfyDefinition) {
+  ComplexMatrix m(3, 3);
+  m(0, 0) = {2.0, 0.0};
+  m(0, 1) = {0.0, 1.0};
+  m(1, 0) = {0.0, -1.0};
+  m(1, 1) = {3.0, 0.0};
+  m(2, 2) = {1.0, 0.0};
+  ComplexMatrix vecs;
+  const auto vals = hermitian_eigen(m, &vecs);
+  for (std::size_t k = 0; k < 3; ++k) {
+    std::vector<std::complex<double>> v(3);
+    for (std::size_t i = 0; i < 3; ++i) v[i] = vecs(i, k);
+    const auto mv = m.multiply(v);
+    for (std::size_t i = 0; i < 3; ++i) {
+      EXPECT_NEAR(std::abs(mv[i] - vals[k] * v[i]), 0.0, 1e-8);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace chronos::mathx

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "net/linkmodel.hpp"
+#include "net/tcp.hpp"
+#include "net/video.hpp"
+
+namespace chronos::net {
+namespace {
+
+TEST(LinkModel, OutageWindows) {
+  LinkModel link(1e6);
+  link.add_outage({6.0, 0.084});
+  EXPECT_FALSE(link.in_outage(5.9));
+  EXPECT_TRUE(link.in_outage(6.0));
+  EXPECT_TRUE(link.in_outage(6.05));
+  EXPECT_FALSE(link.in_outage(6.09));
+  EXPECT_DOUBLE_EQ(link.capacity_at(5.0), 1e6);
+  EXPECT_DOUBLE_EQ(link.capacity_at(6.02), 0.0);
+}
+
+TEST(LinkModel, InvalidInputsThrow) {
+  EXPECT_THROW(LinkModel(0.0), std::invalid_argument);
+  LinkModel link(1e6);
+  EXPECT_THROW(link.add_outage({1.0, -0.1}), std::invalid_argument);
+}
+
+TEST(Tcp, SteadyStateApproachesCapacity) {
+  LinkModel link(2.6e6);
+  const auto run = run_tcp_flow(link, {}, 15.0, 1.0);
+  ASSERT_GE(run.trace.size(), 10u);
+  // After slow start, per-window throughput sits near link capacity.
+  for (std::size_t i = 5; i < run.trace.size(); ++i) {
+    EXPECT_NEAR(run.trace[i].throughput_bps, 2.6e6, 0.15e6);
+  }
+}
+
+TEST(Tcp, OutageDentsExactlyOneWindow) {
+  LinkModel link(2.6e6);
+  link.add_outage({6.0, 0.084});
+  const auto run = run_tcp_flow(link, {}, 15.0, 1.0);
+  // Window covering t in (5,6] is intact; (6,7] loses ~8.4% of capacity
+  // minus what the queue absorbs.
+  double baseline = run.trace[4].throughput_bps;
+  double dip = 0.0;
+  for (const auto& p : run.trace) {
+    if (std::abs(p.t_s - 7.0) < 1e-9) dip = p.throughput_bps;
+  }
+  ASSERT_GT(dip, 0.0);
+  const double rel_drop = (baseline - dip) / baseline;
+  EXPECT_GT(rel_drop, 0.02);
+  EXPECT_LT(rel_drop, 0.12);  // paper reports 6.5%
+}
+
+TEST(Tcp, RecoveryAfterOutage) {
+  LinkModel link(2.6e6);
+  link.add_outage({6.0, 0.084});
+  const auto run = run_tcp_flow(link, {}, 15.0, 1.0);
+  const auto& last = run.trace.back();
+  EXPECT_NEAR(last.throughput_bps, 2.6e6, 0.2e6);
+}
+
+TEST(Tcp, SlowStartGrowsWindow) {
+  LinkModel link(10e6);
+  TcpConfig cfg;
+  cfg.initial_cwnd_segments = 2.0;
+  const auto run = run_tcp_flow(link, cfg, 1.0, 0.1);
+  EXPECT_GT(run.trace.back().cwnd_segments, cfg.initial_cwnd_segments);
+}
+
+TEST(Tcp, LossesOccurWhenQueueSaturates) {
+  LinkModel link(1e6);
+  TcpConfig cfg;
+  cfg.queue_limit_bytes = 8 * 1500.0;
+  const auto run = run_tcp_flow(link, cfg, 10.0, 1.0);
+  EXPECT_GT(run.losses, 0u);
+}
+
+TEST(Tcp, InvalidDurationsThrow) {
+  LinkModel link(1e6);
+  EXPECT_THROW((void)run_tcp_flow(link, {}, 0.0), std::invalid_argument);
+}
+
+TEST(Video, NoStallWithoutOutage) {
+  LinkModel link(4e6);
+  const auto run = run_video_session(link, {}, 10.0);
+  EXPECT_EQ(run.stall_events, 0u);
+  EXPECT_DOUBLE_EQ(run.total_stall_time_s, 0.0);
+}
+
+TEST(Video, BufferRidesThroughChronosSweep) {
+  // Paper Fig 9b: one 84 ms localization outage at t = 6 s does not stall
+  // playback.
+  LinkModel link(4e6);
+  link.add_outage({6.0, 0.084});
+  const auto run = run_video_session(link, {}, 10.0);
+  EXPECT_EQ(run.stall_events, 0u);
+  // Download pauses during the outage: cumulative bits flat across it.
+  double before = 0.0, after = 0.0;
+  for (const auto& p : run.trace) {
+    if (std::abs(p.t_s - 6.0) < 0.05) before = p.downloaded_bits;
+    if (std::abs(p.t_s - 6.1) < 0.05) after = p.downloaded_bits;
+  }
+  ASSERT_GT(before, 0.0);
+  // At most ~26 ms of link time inside (6.084, 6.1): small delta.
+  EXPECT_LT(after - before, 4e6 * 0.03);
+}
+
+TEST(Video, LongOutageStallsPlayback) {
+  LinkModel link(4e6);
+  link.add_outage({3.0, 6.0});
+  const auto run = run_video_session(link, {}, 12.0);
+  EXPECT_GT(run.stall_events, 0u);
+  EXPECT_GT(run.total_stall_time_s, 1.0);
+}
+
+TEST(Video, PlaybackNeverExceedsDownload) {
+  LinkModel link(3e6);
+  link.add_outage({2.0, 0.5});
+  const auto run = run_video_session(link, {}, 8.0);
+  for (const auto& p : run.trace) {
+    EXPECT_LE(p.played_bits, p.downloaded_bits + 1e-6);
+    EXPECT_GE(p.buffer_s, -1e-9);
+  }
+}
+
+TEST(Video, BufferCeilingLimitsPrefetch) {
+  LinkModel link(50e6);  // link far faster than the stream
+  VideoConfig cfg;
+  cfg.max_buffer_s = 2.0;
+  const auto run = run_video_session(link, cfg, 10.0);
+  for (const auto& p : run.trace) {
+    EXPECT_LE(p.buffer_s, cfg.max_buffer_s + 0.05);
+  }
+}
+
+}  // namespace
+}  // namespace chronos::net

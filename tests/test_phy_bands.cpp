@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "phy/band_plan.hpp"
+
+namespace chronos::phy {
+namespace {
+
+TEST(BandPlan, ThirtyFiveBandsTotal) {
+  EXPECT_EQ(us_band_plan().size(), 35u);  // paper §5: 35 US bands
+}
+
+TEST(BandPlan, GroupCounts) {
+  std::size_t n24 = 0, unii1 = 0, unii2 = 0, dfs = 0, unii3 = 0;
+  for (const auto& b : us_band_plan()) {
+    switch (b.group) {
+      case BandGroup::k2_4GHz: ++n24; break;
+      case BandGroup::k5GHzUnii1: ++unii1; break;
+      case BandGroup::k5GHzUnii2: ++unii2; break;
+      case BandGroup::k5GHzDfs: ++dfs; break;
+      case BandGroup::k5GHzUnii3: ++unii3; break;
+    }
+  }
+  EXPECT_EQ(n24, 11u);
+  EXPECT_EQ(unii1, 4u);
+  EXPECT_EQ(unii2, 4u);
+  EXPECT_EQ(dfs, 11u);
+  EXPECT_EQ(unii3, 5u);
+}
+
+TEST(BandPlan, KnownCenterFrequencies) {
+  EXPECT_DOUBLE_EQ(band_by_channel(1).center_freq_hz, 2.412e9);
+  EXPECT_DOUBLE_EQ(band_by_channel(11).center_freq_hz, 2.462e9);
+  EXPECT_DOUBLE_EQ(band_by_channel(36).center_freq_hz, 5.18e9);
+  EXPECT_DOUBLE_EQ(band_by_channel(64).center_freq_hz, 5.32e9);
+  EXPECT_DOUBLE_EQ(band_by_channel(100).center_freq_hz, 5.5e9);
+  EXPECT_DOUBLE_EQ(band_by_channel(140).center_freq_hz, 5.7e9);
+  EXPECT_DOUBLE_EQ(band_by_channel(149).center_freq_hz, 5.745e9);
+  EXPECT_DOUBLE_EQ(band_by_channel(165).center_freq_hz, 5.825e9);
+}
+
+TEST(BandPlan, OrderedByFrequency) {
+  const auto& plan = us_band_plan();
+  for (std::size_t i = 1; i < plan.size(); ++i) {
+    EXPECT_GT(plan[i].center_freq_hz, plan[i - 1].center_freq_hz);
+  }
+}
+
+TEST(BandPlan, SubsetHelpers) {
+  EXPECT_EQ(bands_2_4ghz().size(), 11u);
+  EXPECT_EQ(bands_5ghz().size(), 24u);
+  for (const auto& b : bands_2_4ghz()) EXPECT_TRUE(b.is_2_4ghz());
+  for (const auto& b : bands_5ghz()) EXPECT_FALSE(b.is_2_4ghz());
+}
+
+TEST(BandPlan, UnknownChannelThrows) {
+  EXPECT_THROW((void)band_by_channel(12), std::invalid_argument);
+  EXPECT_THROW((void)band_by_channel(0), std::invalid_argument);
+  EXPECT_THROW((void)band_by_channel(170), std::invalid_argument);
+}
+
+TEST(BandPlan, TotalSpanMatchesPaper) {
+  // 2.412 .. 5.825 GHz: the "virtual wideband radio" spans 3.413 GHz.
+  EXPECT_NEAR(total_span_hz(us_band_plan()), 3.413e9, 1e6);
+}
+
+TEST(BandPlan, UnambiguousRange) {
+  // gcd of all centers in MHz is 1 -> 1 us of unambiguous ToF (300 m),
+  // comfortably beyond the paper's quoted 200 ns requirement.
+  EXPECT_NEAR(unambiguous_range_s(us_band_plan()), 1e-6, 1e-12);
+  // 5 GHz UNII-1 only: centers are multiples of 20 MHz -> 50 ns.
+  const auto unii1 = std::vector<WifiBand>{band_by_channel(36),
+                                           band_by_channel(40),
+                                           band_by_channel(44)};
+  EXPECT_NEAR(unambiguous_range_s(unii1), 50e-9, 1e-15);
+}
+
+TEST(BandPlan, GroupLabels) {
+  EXPECT_EQ(to_string(BandGroup::k2_4GHz), "2.4 GHz");
+  EXPECT_EQ(to_string(BandGroup::k5GHzDfs), "5 GHz DFS");
+}
+
+TEST(BandPlan, DfsChannelsAreFourApart) {
+  int prev = 0;
+  for (const auto& b : us_band_plan()) {
+    if (b.group != BandGroup::k5GHzDfs) continue;
+    if (prev != 0) EXPECT_EQ(b.channel - prev, 4);
+    prev = b.channel;
+  }
+  EXPECT_EQ(prev, 140);
+}
+
+}  // namespace
+}  // namespace chronos::phy

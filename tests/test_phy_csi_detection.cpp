@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "mathx/rng.hpp"
+#include "mathx/stats.hpp"
+#include "phy/band_plan.hpp"
+#include "phy/csi.hpp"
+#include "phy/detection.hpp"
+#include "phy/intel5300.hpp"
+
+namespace chronos::phy {
+namespace {
+
+TEST(Csi, ThirtyGroupedSubcarriers) {
+  const auto idx = intel5300_subcarrier_indices();
+  ASSERT_EQ(idx.size(), 30u);
+  EXPECT_EQ(idx.front(), -28);
+  EXPECT_EQ(idx.back(), 28);
+  // Strictly increasing, no DC.
+  for (std::size_t i = 1; i < idx.size(); ++i) EXPECT_GT(idx[i], idx[i - 1]);
+  for (int k : idx) EXPECT_NE(k, 0);
+}
+
+TEST(Csi, SubcarrierOffsets) {
+  EXPECT_DOUBLE_EQ(subcarrier_offset_hz(0), 0.0);
+  EXPECT_DOUBLE_EQ(subcarrier_offset_hz(1), 312.5e3);
+  EXPECT_DOUBLE_EQ(subcarrier_offset_hz(-28), -8.75e6);
+}
+
+TEST(Csi, FrequencyAt) {
+  CsiMeasurement m;
+  m.band = band_by_channel(36);
+  m.values.resize(30);
+  EXPECT_DOUBLE_EQ(m.frequency_at(0), 5.18e9 - 8.75e6);
+  EXPECT_DOUBLE_EQ(m.frequency_at(29), 5.18e9 + 8.75e6);
+  EXPECT_THROW((void)m.frequency_at(30), std::invalid_argument);
+}
+
+SweepMeasurement minimal_sweep() {
+  SweepMeasurement sweep;
+  SweepMeasurement::BandCapture cap;
+  cap.forward.band = band_by_channel(36);
+  cap.forward.direction = Direction::kForward;
+  cap.forward.values.assign(30, {1.0, 0.0});
+  cap.reverse.band = band_by_channel(36);
+  cap.reverse.direction = Direction::kReverse;
+  cap.reverse.values.assign(30, {1.0, 0.0});
+  sweep.bands.push_back({cap});
+  return sweep;
+}
+
+TEST(Csi, ValidateAcceptsWellFormedSweep) {
+  EXPECT_NO_THROW(validate(minimal_sweep()));
+}
+
+TEST(Csi, ValidateRejectsWrongSubcarrierCount) {
+  auto sweep = minimal_sweep();
+  sweep.bands[0][0].forward.values.resize(29);
+  EXPECT_THROW(validate(sweep), std::invalid_argument);
+}
+
+TEST(Csi, ValidateRejectsMislabeledDirection) {
+  auto sweep = minimal_sweep();
+  sweep.bands[0][0].reverse.direction = Direction::kForward;
+  EXPECT_THROW(validate(sweep), std::invalid_argument);
+}
+
+TEST(Csi, ValidateRejectsBandMismatch) {
+  auto sweep = minimal_sweep();
+  sweep.bands[0][0].reverse.band = band_by_channel(40);
+  EXPECT_THROW(validate(sweep), std::invalid_argument);
+}
+
+TEST(Csi, ValidateRejectsEmpty) {
+  SweepMeasurement empty;
+  EXPECT_THROW(validate(empty), std::invalid_argument);
+}
+
+// --- detection model -------------------------------------------------------
+
+TEST(Detection, DelayIsAlwaysAbovePipelineLatency) {
+  const DetectionModel model;
+  mathx::Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_GE(model.sample_delay_s(30.0, rng), model.params().pipeline_delay_s);
+  }
+}
+
+TEST(Detection, MeanDelayDecreasesWithSnr) {
+  const DetectionModel model;
+  EXPECT_GT(model.expected_delay_s(15.0), model.expected_delay_s(25.0));
+  EXPECT_GT(model.expected_delay_s(25.0), model.expected_delay_s(40.0));
+}
+
+TEST(Detection, SampleMeanMatchesExpectedDelay) {
+  const DetectionModel model;
+  mathx::Rng rng(17);
+  std::vector<double> samples;
+  for (int i = 0; i < 20000; ++i)
+    samples.push_back(model.sample_delay_s(25.0, rng));
+  EXPECT_NEAR(mathx::mean(samples), model.expected_delay_s(25.0), 2e-9);
+}
+
+TEST(Detection, PopulationStatisticsMatchPaperScale) {
+  // Across typical indoor SNRs the delay population should sit near the
+  // paper's median 177 ns with a ~25 ns spread (Fig 7c).
+  const DetectionModel model;
+  mathx::Rng rng(5);
+  std::vector<double> samples;
+  for (int i = 0; i < 5000; ++i) {
+    const double snr = rng.uniform(20.0, 38.0);
+    samples.push_back(model.sample_delay_s(snr, rng));
+  }
+  const double med = mathx::median(samples);
+  EXPECT_GT(med, 150e-9);
+  EXPECT_LT(med, 210e-9);
+  const double sd = mathx::stddev(samples);
+  EXPECT_GT(sd, 10e-9);
+  EXPECT_LT(sd, 45e-9);
+}
+
+TEST(Detection, RejectsAbsurdSnr) {
+  const DetectionModel model;
+  mathx::Rng rng(1);
+  EXPECT_THROW((void)model.sample_delay_s(-30.0, rng), std::invalid_argument);
+}
+
+// --- Intel 5300 quirk -------------------------------------------------------
+
+TEST(Intel5300, QuirkFoldsPhaseInto2_4GHz) {
+  const auto band24 = band_by_channel(6);
+  const std::complex<double> h = std::polar(2.0, 2.5);
+  const auto folded = apply_phase_quirk(h, band24);
+  EXPECT_NEAR(std::abs(folded), 2.0, 1e-12);
+  const double phase = std::arg(folded);
+  EXPECT_GE(phase, 0.0);
+  EXPECT_LT(phase, 1.5708);
+  // Folding preserves the phase modulo pi/2.
+  EXPECT_NEAR(std::fmod(2.5 - phase, 1.5707963267948966), 0.0, 1e-9);
+}
+
+TEST(Intel5300, QuirkLeaves5GHzUntouched) {
+  const auto band5 = band_by_channel(36);
+  const std::complex<double> h = std::polar(1.0, 2.5);
+  const auto out = apply_phase_quirk(h, band5);
+  EXPECT_NEAR(std::abs(out - h), 0.0, 1e-12);
+}
+
+TEST(Intel5300, PerDirectionExponents) {
+  EXPECT_EQ(per_direction_exponent(band_by_channel(1)), 4);
+  EXPECT_EQ(per_direction_exponent(band_by_channel(36)), 1);
+}
+
+}  // namespace
+}  // namespace chronos::phy

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "core/ranging.hpp"
+#include "phy/csi_io.hpp"
+#include "sim/link.hpp"
+
+namespace chronos::phy {
+namespace {
+
+SweepMeasurement sample_sweep() {
+  sim::LinkSimConfig cfg;
+  cfg.exchanges_per_band = 2;
+  sim::LinkSimulator link(sim::office_20x20(), cfg);
+  mathx::Rng rng(44);
+  return link.simulate_sweep(sim::make_mobile({2.0, 2.0}, 1), 0,
+                             sim::make_mobile({7.0, 5.0}, 2), 0, rng);
+}
+
+TEST(CsiIo, RoundTripsExactly) {
+  const auto sweep = sample_sweep();
+  std::stringstream ss;
+  write_sweep(ss, sweep);
+  const auto loaded = read_sweep(ss);
+
+  ASSERT_EQ(loaded.bands.size(), sweep.bands.size());
+  EXPECT_DOUBLE_EQ(loaded.sweep_duration_s, sweep.sweep_duration_s);
+  for (std::size_t bi = 0; bi < sweep.bands.size(); ++bi) {
+    ASSERT_EQ(loaded.bands[bi].size(), sweep.bands[bi].size());
+    for (std::size_t c = 0; c < sweep.bands[bi].size(); ++c) {
+      const auto& a = sweep.bands[bi][c];
+      const auto& b = loaded.bands[bi][c];
+      EXPECT_EQ(a.forward.band.channel, b.forward.band.channel);
+      EXPECT_DOUBLE_EQ(a.forward.timestamp_s, b.forward.timestamp_s);
+      EXPECT_DOUBLE_EQ(a.forward.snr_db, b.forward.snr_db);
+      for (std::size_t k = 0; k < 30; ++k) {
+        EXPECT_DOUBLE_EQ(a.forward.values[k].real(),
+                         b.forward.values[k].real());
+        EXPECT_DOUBLE_EQ(a.reverse.values[k].imag(),
+                         b.reverse.values[k].imag());
+      }
+    }
+  }
+}
+
+TEST(CsiIo, LoadedSweepProducesIdenticalRangingResult) {
+  const auto sweep = sample_sweep();
+  std::stringstream ss;
+  write_sweep(ss, sweep);
+  const auto loaded = read_sweep(ss);
+
+  std::vector<WifiBand> bands;
+  for (const auto& caps : sweep.bands) bands.push_back(caps[0].forward.band);
+  core::RangingPipeline pipe(bands, {});
+  const auto a = pipe.estimate(sweep);
+  const auto b = pipe.estimate(loaded);
+  EXPECT_DOUBLE_EQ(a.tof_s, b.tof_s);
+  EXPECT_DOUBLE_EQ(a.toa_s, b.toa_s);
+}
+
+TEST(CsiIo, FileRoundTrip) {
+  const auto sweep = sample_sweep();
+  const std::string path = "/tmp/chronos_test_sweep.csi";
+  save_sweep(path, sweep);
+  const auto loaded = load_sweep(path);
+  EXPECT_EQ(loaded.bands.size(), sweep.bands.size());
+  std::remove(path.c_str());
+}
+
+TEST(CsiIo, CommentsAndBlankLinesIgnored) {
+  const auto sweep = sample_sweep();
+  std::stringstream ss;
+  write_sweep(ss, sweep);
+  const std::string with_noise = "# leading comment\n\n" + ss.str() + "\n#tail\n";
+  std::stringstream ss2(with_noise);
+  EXPECT_NO_THROW((void)read_sweep(ss2));
+}
+
+TEST(CsiIo, RejectsMalformedInput) {
+  std::stringstream empty;
+  EXPECT_THROW((void)read_sweep(empty), std::invalid_argument);
+
+  std::stringstream bad_tag("sweep 1 0.1\nband 0 36\nfrobnicate 1 2 3\n");
+  EXPECT_THROW((void)read_sweep(bad_tag), std::invalid_argument);
+
+  std::stringstream orphan_reverse(
+      "sweep 1 0.1\nband 0 36\ncapture 0 r 0.0 30.0 1 0\n");
+  EXPECT_THROW((void)read_sweep(orphan_reverse), std::invalid_argument);
+
+  std::stringstream short_capture("sweep 1 0.1\nband 0 36\ncapture 0 f 0 30 1 0\n");
+  EXPECT_THROW((void)read_sweep(short_capture), std::invalid_argument);
+
+  EXPECT_THROW((void)load_sweep("/nonexistent/path/sweep.csi"),
+               std::invalid_argument);
+}
+
+TEST(CsiIo, RejectsUnknownChannel) {
+  std::stringstream bad_channel("sweep 1 0.1\nband 0 13\n");
+  EXPECT_THROW((void)read_sweep(bad_channel), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace chronos::phy

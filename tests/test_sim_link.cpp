@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/subcarrier_interp.hpp"
+#include "mathx/constants.hpp"
+#include "sim/link.hpp"
+
+namespace chronos::sim {
+namespace {
+
+LinkSimConfig ideal_config() {
+  LinkSimConfig c;
+  c.enable_noise = false;
+  c.enable_detection_delay = false;
+  c.enable_cfo = false;
+  c.enable_lo_phase = false;
+  c.enable_chain_effects = false;
+  c.enable_quirk = false;
+  c.exchanges_per_band = 1;
+  c.propagation.include_scatterers = false;
+  return c;
+}
+
+TEST(LinkSim, SweepCoversAllBandsWithRequestedExchanges) {
+  auto cfg = ideal_config();
+  cfg.exchanges_per_band = 3;
+  LinkSimulator sim(anechoic(), cfg);
+  const auto tx = make_mobile({0.0, 0.0});
+  const auto rx = make_mobile({4.0, 0.0});
+  mathx::Rng rng(1);
+  const auto sweep = sim.simulate_sweep(tx, 0, rx, 0, rng);
+  EXPECT_EQ(sweep.band_count(), 35u);
+  for (const auto& caps : sweep.bands) {
+    EXPECT_EQ(caps.size(), 3u);
+    for (const auto& cap : caps) {
+      EXPECT_EQ(cap.forward.values.size(), 30u);
+      EXPECT_LT(cap.forward.timestamp_s, cap.reverse.timestamp_s);
+    }
+  }
+}
+
+TEST(LinkSim, IdealForwardCsiMatchesTrueChannel) {
+  LinkSimulator sim(anechoic(), ideal_config());
+  const auto tx = make_mobile({0.0, 0.0});
+  const auto rx = make_mobile({5.0, 0.0});
+  mathx::Rng rng(1);
+  const auto sweep = sim.simulate_sweep(tx, 0, rx, 0, rng);
+  const auto paths = sim.paths_between(tx, 0, rx, 0);
+  for (const auto& caps : sweep.bands) {
+    const auto& m = caps[0].forward;
+    for (std::size_t k = 0; k < m.values.size(); ++k) {
+      const auto expect = channel_at(paths, m.frequency_at(k));
+      EXPECT_NEAR(std::abs(m.values[k] - expect), 0.0, 1e-12);
+    }
+  }
+}
+
+TEST(LinkSim, ReciprocityHoldsWithoutImpairments) {
+  LinkSimulator sim(anechoic(), ideal_config());
+  const auto tx = make_mobile({0.0, 0.0});
+  const auto rx = make_mobile({5.0, 0.0});
+  mathx::Rng rng(1);
+  const auto sweep = sim.simulate_sweep(tx, 0, rx, 0, rng);
+  for (const auto& caps : sweep.bands) {
+    for (std::size_t k = 0; k < 30; ++k) {
+      EXPECT_NEAR(std::abs(caps[0].forward.values[k] -
+                           caps[0].reverse.values[k]),
+                  0.0, 1e-12);
+    }
+  }
+}
+
+TEST(LinkSim, LoPhaseCorruptsOneWayButCancelsInProduct) {
+  auto cfg = ideal_config();
+  cfg.enable_lo_phase = true;
+  LinkSimulator sim(anechoic(), cfg);
+  const auto tx = make_mobile({0.0, 0.0});
+  const auto rx = make_mobile({5.0, 0.0});
+  mathx::Rng rng(7);
+  const auto sweep = sim.simulate_sweep(tx, 0, rx, 0, rng);
+  const auto paths = sim.paths_between(tx, 0, rx, 0);
+
+  double max_oneway_err = 0.0;
+  double max_product_err = 0.0;
+  for (const auto& caps : sweep.bands) {
+    const auto& fwd = caps[0].forward;
+    const auto& rev = caps[0].reverse;
+    const auto truth = channel_at(paths, fwd.band.center_freq_hz);
+    const auto fwd0 = core::interpolate_to_center(fwd).zero_subcarrier;
+    const auto rev0 = core::interpolate_to_center(rev).zero_subcarrier;
+    max_oneway_err = std::max(
+        max_oneway_err, std::abs(std::arg(fwd0 * std::conj(truth))));
+    // Product phase must equal the squared channel phase.
+    max_product_err = std::max(
+        max_product_err,
+        std::abs(std::arg(fwd0 * rev0 * std::conj(truth * truth))));
+  }
+  EXPECT_GT(max_oneway_err, 0.5);      // one-way is scrambled
+  EXPECT_LT(max_product_err, 1e-6);    // two-way product is clean
+}
+
+TEST(LinkSim, DetectionDelayLeavesZeroSubcarrierIntact) {
+  auto cfg = ideal_config();
+  cfg.enable_detection_delay = true;
+  LinkSimulator sim(anechoic(), cfg);
+  const auto tx = make_mobile({0.0, 0.0});
+  const auto rx = make_mobile({5.0, 0.0});
+  mathx::Rng rng(3);
+  const auto sweep = sim.simulate_sweep(tx, 0, rx, 0, rng);
+  const auto paths = sim.paths_between(tx, 0, rx, 0);
+  const double tof = paths[0].delay_s;
+
+  for (const auto& caps : sweep.bands) {
+    const auto& fwd = caps[0].forward;
+    const auto truth = channel_at(paths, fwd.band.center_freq_hz);
+    const auto interp = core::interpolate_to_center(fwd);
+    // Zero subcarrier: phase error stays tiny despite ~200 ns delay.
+    EXPECT_LT(std::abs(std::arg(interp.zero_subcarrier * std::conj(truth))),
+              1e-6);
+    // The ToA slope reveals tof + delta, which is >> tof.
+    EXPECT_GT(interp.toa_slope_s, tof + 100e-9);
+  }
+}
+
+TEST(LinkSim, NoiseScalesWithDistance) {
+  auto cfg = ideal_config();
+  cfg.enable_noise = true;
+  LinkSimulator sim(anechoic(), cfg);
+  mathx::Rng rng(5);
+  const auto tx = make_mobile({0.0, 0.0});
+  const auto near_sweep =
+      sim.simulate_sweep(tx, 0, make_mobile({2.0, 0.0}), 0, rng);
+  const auto far_sweep =
+      sim.simulate_sweep(tx, 0, make_mobile({14.0, 0.0}), 0, rng);
+  EXPECT_GT(near_sweep.bands[0][0].forward.snr_db,
+            far_sweep.bands[0][0].forward.snr_db + 15.0);
+}
+
+TEST(LinkSim, QuirkRotates24GHzByQuadrants) {
+  auto cfg = ideal_config();
+  cfg.enable_quirk = true;
+  LinkSimulator sim(anechoic(), cfg);
+  const auto tx = make_mobile({0.0, 0.0});
+  const auto rx = make_mobile({5.0, 0.0});
+  mathx::Rng rng(11);
+  const auto sweep = sim.simulate_sweep(tx, 0, rx, 0, rng);
+  const auto paths = sim.paths_between(tx, 0, rx, 0);
+  for (const auto& caps : sweep.bands) {
+    const auto& fwd = caps[0].forward;
+    const auto truth = channel_at(paths, fwd.band.center_freq_hz);
+    const auto fwd0 = core::interpolate_to_center(fwd).zero_subcarrier;
+    const double err = std::arg(fwd0 * std::conj(truth));
+    if (fwd.band.is_2_4ghz()) {
+      // Error is a multiple of pi/2.
+      const double quad = err / (mathx::kPi / 2.0);
+      EXPECT_NEAR(quad, std::round(quad), 1e-6);
+    } else {
+      EXPECT_NEAR(err, 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(LinkSim, InvalidAntennaIndexThrows) {
+  LinkSimulator sim(anechoic(), ideal_config());
+  mathx::Rng rng(1);
+  const auto tx = make_mobile({0.0, 0.0});
+  const auto rx = make_mobile({5.0, 0.0});
+  EXPECT_THROW((void)sim.simulate_sweep(tx, 1, rx, 0, rng),
+               std::invalid_argument);
+}
+
+TEST(LinkSim, BandSubsetConfigRespected) {
+  auto cfg = ideal_config();
+  cfg.bands = phy::bands_5ghz();
+  LinkSimulator sim(anechoic(), cfg);
+  mathx::Rng rng(1);
+  const auto sweep = sim.simulate_sweep(make_mobile({0.0, 0.0}), 0,
+                                        make_mobile({3.0, 0.0}), 0, rng);
+  EXPECT_EQ(sweep.band_count(), 24u);
+}
+
+}  // namespace
+}  // namespace chronos::sim
