@@ -1,0 +1,26 @@
+# Resolve GoogleTest, in order of preference:
+#   1. an installed package (find_package, config or module mode),
+#   2. the distro's source tree (/usr/src/googletest, Debian's libgtest-dev),
+#   3. a FetchContent download (needs network; last resort).
+# All paths end with the GTest::gtest_main target defined.
+
+find_package(GTest QUIET)
+
+if(NOT TARGET GTest::gtest_main)
+  include(FetchContent)
+  if(EXISTS "/usr/src/googletest/CMakeLists.txt")
+    FetchContent_Declare(googletest SOURCE_DIR "/usr/src/googletest")
+  else()
+    FetchContent_Declare(googletest
+      URL https://github.com/google/googletest/archive/refs/tags/v1.14.0.tar.gz
+      URL_HASH SHA256=8ad598c73ad796e0d8280b082cebd82a630d73e73cd3c70057938a6501bba5d7)
+  endif()
+  # Never install or force GoogleTest's flags onto consumers.
+  set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+  set(gtest_force_shared_crt ON CACHE BOOL "" FORCE)
+  FetchContent_MakeAvailable(googletest)
+  if(NOT TARGET GTest::gtest_main)
+    add_library(GTest::gtest_main ALIAS gtest_main)
+    add_library(GTest::gtest ALIAS gtest)
+  endif()
+endif()

@@ -10,8 +10,8 @@
 // Format (one record per line, '#' comments ignored):
 //   sweep <band_count> <sweep_duration_s>
 //   band <index> <channel>
-//   capture <band_index> <direction:f|r> <timestamp_s> <snr_db> \
-//           <re0> <im0> ... <re29> <im29>
+//   capture <band_index> <direction:f|r> <timestamp_s> <snr_db>
+//           <re0> <im0> ... <re29> <im29>      (one physical line)
 // Captures appear forward/reverse alternating, in band order.
 #pragma once
 

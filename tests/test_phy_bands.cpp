@@ -83,7 +83,9 @@ TEST(BandPlan, DfsChannelsAreFourApart) {
   int prev = 0;
   for (const auto& b : us_band_plan()) {
     if (b.group != BandGroup::k5GHzDfs) continue;
-    if (prev != 0) EXPECT_EQ(b.channel - prev, 4);
+    if (prev != 0) {
+      EXPECT_EQ(b.channel - prev, 4);
+    }
     prev = b.channel;
   }
   EXPECT_EQ(prev, 140);
