@@ -1,0 +1,82 @@
+// Ranging throughput of the batched engine runtime: ranges/sec for one
+// fixed request mix at 1/2/4/8 worker threads, plus the scaling curve and
+// a determinism cross-check (every thread count must reproduce the 1-thread
+// results bit-for-bit).
+//
+// The paper budgets ~80 ms per ToF estimate on one Intel 5300 pair; the
+// ROADMAP's north star is millions of device pairs, which is a throughput
+// problem — this harness is its scoreboard. Speedup is hardware-bound:
+// on a single-core container the curve is flat; on an N-core box the
+// workload is embarrassingly parallel and scales to min(N, 8) here.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/engine.hpp"
+#include "sim/scenario.hpp"
+
+int main() {
+  using namespace chronos;
+  bench::header("Throughput", "batched ranging engine, 1/2/4/8 threads");
+
+  const auto scen = sim::office_testbed(42);
+  core::EngineConfig ec;
+  core::ChronosEngine eng(scen.environment(), ec);
+  mathx::Rng rng(7);
+  eng.calibrate(sim::make_mobile({0.0, 0.0}, 11),
+                sim::make_mobile({1.0, 0.0}, 22), rng);
+
+  // One fixed batch of device pairs across the office floor (the same mix
+  // for every thread count, so the comparison is apples-to-apples).
+  constexpr int kRequests = 40;
+  std::vector<core::RangingRequest> requests;
+  for (int i = 0; i < kRequests; ++i) {
+    const auto pl = scen.sample_pair(rng, 1.0, 15.0);
+    requests.push_back({sim::make_mobile(pl.tx, 11), 0,
+                        sim::make_mobile(pl.rx, 22), 0});
+  }
+
+  std::printf("  %-8s %-12s %-12s %-10s\n", "threads", "wall [s]",
+              "ranges/sec", "speedup");
+  constexpr std::uint64_t kBatchSeed = 1234;
+  std::vector<core::RangingResult> reference;
+  double rate_1t = 0.0, rate_8t = 0.0;
+  int mismatches = 0;
+  for (const int threads : {1, 2, 4, 8}) {
+    // Same seed per run: the work AND the results are identical by the
+    // batch determinism contract; only the wall clock may move.
+    mathx::Rng batch_rng(kBatchSeed);
+    const auto batch =
+        eng.measure_batch(requests, batch_rng, core::BatchOptions{threads});
+    const double rate =
+        static_cast<double>(requests.size()) / batch.wall_time_s;
+    if (threads == 1) {
+      reference = batch.results;
+      rate_1t = rate;
+    } else {
+      for (int i = 0; i < kRequests; ++i) {
+        const auto k = static_cast<std::size_t>(i);
+        if (batch.results[k].tof_s != reference[k].tof_s ||
+            batch.results[k].distance_m != reference[k].distance_m) {
+          ++mismatches;
+        }
+      }
+    }
+    if (threads == 8) rate_8t = rate;
+    std::printf("  %-8d %-12.3f %-12.1f %-10.2f\n", batch.threads_used,
+                batch.wall_time_s, rate, rate / rate_1t);
+  }
+
+  const double per_estimate_ms = 1e3 / rate_1t;
+  std::printf("\n");
+  bench::paper_vs_measured("single-pair estimate budget", 80.0,
+                           per_estimate_ms, "ms");
+  std::printf("  determinism cross-check: %d mismatching results "
+              "(must be 0)\n", mismatches);
+  bench::json_summary("throughput",
+                      {{"ranges_per_sec_1t", rate_1t},
+                       {"ranges_per_sec_8t", rate_8t},
+                       {"speedup_8t", rate_8t / rate_1t},
+                       {"mismatches", static_cast<double>(mismatches)}});
+  return mismatches == 0 ? 0 : 1;
+}

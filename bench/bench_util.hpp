@@ -1,13 +1,17 @@
 // Shared helpers for the figure-reproduction harnesses.
 //
-// Every bench prints (a) the series/rows the paper's figure plots and
+// Every bench prints (a) the series/rows the paper's figure plots,
 // (b) a compact "paper vs measured" summary so EXPERIMENTS.md can be
-// cross-checked from raw bench output.
+// cross-checked from raw bench output, and (c) one machine-readable JSON
+// summary line (json_summary) that the golden-drift CTest checks parse —
+// see bench/golden_check.cpp and bench/goldens/.
 #pragma once
 
 #include <cstdio>
+#include <initializer_list>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "mathx/stats.hpp"
@@ -45,6 +49,23 @@ inline void print_histogram(const mathx::Histogram& h,
     if (h.counts[i] == 0) continue;
     std::printf("    %-12.2f %.4f\n", h.bin_center(i) * scale, h.fraction(i));
   }
+}
+
+/// Emits the bench's machine-readable result line, e.g.
+///   SUMMARY {"figure":"fig7a","metrics":{"los_median_ns":0.0502,...}}
+/// Exactly one line, always prefixed "SUMMARY " so tooling can grep it out
+/// of the human-readable output. Metric names should be stable identifiers:
+/// goldens key on them.
+inline void json_summary(
+    const std::string& figure,
+    std::initializer_list<std::pair<const char*, double>> metrics) {
+  std::printf("SUMMARY {\"figure\":\"%s\",\"metrics\":{", figure.c_str());
+  bool first = true;
+  for (const auto& [name, value] : metrics) {
+    std::printf("%s\"%s\":%.17g", first ? "" : ",", name, value);
+    first = false;
+  }
+  std::printf("}}\n");
 }
 
 }  // namespace chronos::bench

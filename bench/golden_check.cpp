@@ -1,0 +1,161 @@
+// Golden-drift checker for bench summaries.
+//
+// Usage: golden_check <bench-binary> <golden-file>
+//
+// Runs the bench, extracts its `SUMMARY {"figure":...,"metrics":{...}}`
+// line (bench_util.hpp json_summary), and compares every metric against the
+// golden file. Golden format, one metric per line ('#' comments allowed):
+//
+//     <metric-name> <expected-value> <abs-tolerance>
+//
+// Exit 0 when every golden metric is present and within tolerance; exit 1
+// (with a diagnostic per drifted metric) otherwise. Registered as CTest
+// tests labelled `golden`, so figure regressions fail the tier-1 run
+// instead of rotting silently (ROADMAP: bench regression tracking).
+#include <sys/wait.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+namespace {
+
+/// Parses the flat metrics object out of a SUMMARY line:
+///   SUMMARY {"figure":"fig7a","metrics":{"a":1.5,"b":-2e-3}}
+/// Minimal by design — the writer (json_summary) emits exactly this shape.
+bool parse_summary_metrics(const std::string& line,
+                           std::map<std::string, double>& metrics) {
+  const std::string key = "\"metrics\":{";
+  const std::size_t start = line.find(key);
+  if (start == std::string::npos) return false;
+  std::size_t pos = start + key.size();
+  while (pos < line.size() && line[pos] != '}') {
+    const std::size_t name_open = line.find('"', pos);
+    if (name_open == std::string::npos) return false;
+    const std::size_t name_close = line.find('"', name_open + 1);
+    if (name_close == std::string::npos) return false;
+    const std::string name =
+        line.substr(name_open + 1, name_close - name_open - 1);
+    if (name_close + 1 >= line.size() || line[name_close + 1] != ':')
+      return false;
+    char* end = nullptr;
+    const double value = std::strtod(line.c_str() + name_close + 2, &end);
+    if (end == line.c_str() + name_close + 2) return false;
+    metrics[name] = value;
+    pos = static_cast<std::size_t>(end - line.c_str());
+    if (pos < line.size() && line[pos] == ',') ++pos;
+  }
+  return !metrics.empty();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 3) {
+    std::fprintf(stderr, "usage: golden_check <bench-binary> <golden-file>\n");
+    return 2;
+  }
+
+  // Run the bench and scan its stdout for the SUMMARY line (last one wins).
+  // Single-quote the path — with embedded quotes escaped — so any build
+  // tree location survives popen's shell.
+  std::string command;
+  command += '\'';
+  for (const char* p = argv[1]; *p != '\0'; ++p) {
+    if (*p == '\'') {
+      command += "'\\''";
+    } else {
+      command += *p;
+    }
+  }
+  command += "' 2>/dev/null";
+  FILE* pipe = popen(command.c_str(), "r");
+  if (pipe == nullptr) {
+    std::fprintf(stderr, "golden_check: cannot run %s\n", argv[1]);
+    return 2;
+  }
+  std::string output;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = fread(buf, 1, sizeof(buf), pipe)) > 0) output.append(buf, n);
+  const int status = pclose(pipe);
+  if (status != 0) {
+    if (WIFEXITED(status)) {
+      std::fprintf(stderr, "golden_check: bench exited with code %d\n",
+                   WEXITSTATUS(status));
+    } else if (WIFSIGNALED(status)) {
+      std::fprintf(stderr, "golden_check: bench killed by signal %d\n",
+                   WTERMSIG(status));
+    } else {
+      std::fprintf(stderr, "golden_check: bench failed (wait status %d)\n",
+                   status);
+    }
+    return 1;
+  }
+
+  std::map<std::string, double> metrics;
+  std::istringstream lines(output);
+  std::string line;
+  bool found_summary = false;
+  while (std::getline(lines, line)) {
+    if (line.rfind("SUMMARY ", 0) == 0) {
+      metrics.clear();
+      found_summary = parse_summary_metrics(line, metrics);
+    }
+  }
+  if (!found_summary) {
+    std::fprintf(stderr,
+                 "golden_check: no parsable SUMMARY line in bench output\n");
+    return 1;
+  }
+
+  std::ifstream golden(argv[2]);
+  if (!golden.good()) {
+    std::fprintf(stderr, "golden_check: cannot open golden file %s\n",
+                 argv[2]);
+    return 2;
+  }
+
+  int checked = 0, failed = 0;
+  while (std::getline(golden, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string name;
+    double expected = 0.0, tolerance = 0.0;
+    if (!(ls >> name >> expected >> tolerance)) {
+      std::fprintf(stderr, "golden_check: malformed golden line: %s\n",
+                   line.c_str());
+      return 2;
+    }
+    ++checked;
+    const auto it = metrics.find(name);
+    if (it == metrics.end()) {
+      std::fprintf(stderr, "FAIL %s: missing from bench summary\n",
+                   name.c_str());
+      ++failed;
+      continue;
+    }
+    const double drift = std::fabs(it->second - expected);
+    if (!(drift <= tolerance)) {  // catches NaN too
+      std::fprintf(stderr,
+                   "FAIL %s: measured %.6g, golden %.6g +- %.6g "
+                   "(drift %.6g)\n",
+                   name.c_str(), it->second, expected, tolerance, drift);
+      ++failed;
+    } else {
+      std::printf("ok   %s: measured %.6g within %.6g +- %.6g\n",
+                  name.c_str(), it->second, expected, tolerance);
+    }
+  }
+  if (checked == 0) {
+    std::fprintf(stderr, "golden_check: golden file lists no metrics\n");
+    return 2;
+  }
+  std::printf("%d/%d golden metrics within tolerance\n", checked - failed,
+              checked);
+  return failed == 0 ? 0 : 1;
+}

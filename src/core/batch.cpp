@@ -1,0 +1,57 @@
+#include "core/batch.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "core/worker_pool.hpp"
+#include "mathx/contracts.hpp"
+
+namespace chronos::core {
+
+namespace {
+/// fork() tag for the per-batch base stream ("batch" in ASCII).
+constexpr std::uint64_t kBatchStreamTag = 0x6261746368ull;
+}  // namespace
+
+int resolve_batch_threads(const BatchOptions& options,
+                          std::size_t n_requests) {
+  CHRONOS_EXPECTS(options.threads >= 0, "batch threads must be >= 0");
+  std::size_t n = options.threads == 0
+                      ? WorkerPool::default_thread_count()
+                      : static_cast<std::size_t>(options.threads);
+  n = std::min(n, std::max<std::size_t>(1, n_requests));
+  return static_cast<int>(n);
+}
+
+BatchResult run_ranging_batch(const sim::LinkSimulator& link,
+                              const RangingPipeline& pipeline,
+                              const CalibrationTable& calibration,
+                              std::span<const RangingRequest> requests,
+                              mathx::Rng& rng, const BatchOptions& options) {
+  // One fork regardless of batch size: the caller's stream advances the
+  // same way whether it batches 1 request or 10^6.
+  const mathx::Rng base = rng.fork(kBatchStreamTag);
+
+  BatchResult out;
+  out.threads_used = resolve_batch_threads(options, requests.size());
+  const auto t0 = std::chrono::steady_clock::now();
+
+  // Request i is a pure function of (link, pipeline, calibration,
+  // requests[i], base.split(i)): scheduling cannot leak into results.
+  auto process = [&](std::size_t i) {
+    const RangingRequest& req = requests[i];
+    mathx::Rng child = base.split(static_cast<std::uint64_t>(i));
+    const auto sweep = link.simulate_sweep(req.tx, req.tx_antenna, req.rx,
+                                           req.rx_antenna, child);
+    return pipeline.estimate(sweep, calibration);
+  };
+
+  out.results = parallel_map(out.threads_used, requests.size(), process);
+
+  out.wall_time_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return out;
+}
+
+}  // namespace chronos::core

@@ -1,0 +1,79 @@
+// The batched ranging runtime: many (tx antenna, rx antenna) sweeps ranged
+// concurrently on a fixed-size worker pool, with a determinism contract.
+//
+// Contract — results are a pure function of (simulator, pipeline,
+// calibration, requests, rng state at the call): every request i draws its
+// noise from an independent child stream `base.split(i)` where `base` is
+// forked once from the caller's rng, so thread count and worker scheduling
+// cannot change a single bit of any RangingResult. Batched with N threads,
+// batched with 1 thread, and a plain sequential loop over the split streams
+// all agree exactly (tests/test_core_batch.cpp is the enforcement).
+//
+// This is the seam the ROADMAP's million-pair scaling path builds on:
+// sharding a request list across machines, async ingestion, and alternate
+// measurement backends all slot in behind `run_ranging_batch` without
+// disturbing the single-pair API.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/calibration.hpp"
+#include "core/ranging.hpp"
+#include "geom/vec2.hpp"
+#include "mathx/rng.hpp"
+#include "sim/link.hpp"
+
+namespace chronos::core {
+
+/// One unit of ranging work: which antenna of which device ranges against
+/// which antenna of which other device.
+struct RangingRequest {
+  sim::Device tx;
+  std::size_t tx_antenna = 0;
+  sim::Device rx;
+  std::size_t rx_antenna = 0;
+};
+
+/// One unit of localization work (see ChronosEngine::locate_batch).
+struct LocateRequest {
+  sim::Device tx;
+  sim::Device rx;
+  std::optional<geom::Vec2> hint;
+};
+
+struct BatchOptions {
+  /// Worker threads. 0 = one per hardware thread; 1 = run inline on the
+  /// calling thread (no pool). Clamped to the number of requests. Any value
+  /// yields bit-identical results — this knob trades wall-clock only.
+  int threads = 0;
+};
+
+struct BatchResult {
+  /// results[i] corresponds to requests[i] (submission order, always).
+  std::vector<RangingResult> results;
+  /// Wall-clock diagnostics; informational only, NOT covered by the
+  /// determinism contract.
+  int threads_used = 1;
+  double wall_time_s = 0.0;
+};
+
+/// Ranges every request through `pipeline` against sweeps simulated on
+/// `link`. Advances `rng` by exactly one fork() regardless of batch size or
+/// thread count, so surrounding sequential code stays reproducible too.
+/// Rethrows the first (by request index) job exception after the pool
+/// drains.
+BatchResult run_ranging_batch(const sim::LinkSimulator& link,
+                              const RangingPipeline& pipeline,
+                              const CalibrationTable& calibration,
+                              std::span<const RangingRequest> requests,
+                              mathx::Rng& rng,
+                              const BatchOptions& options = {});
+
+/// Thread count `run_ranging_batch` will actually use for `n_requests`
+/// under `options` (exposed so benches can report honest numbers).
+int resolve_batch_threads(const BatchOptions& options, std::size_t n_requests);
+
+}  // namespace chronos::core

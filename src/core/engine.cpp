@@ -1,10 +1,16 @@
 #include "core/engine.hpp"
 
+#include "core/worker_pool.hpp"
 #include "mathx/contracts.hpp"
 #include "mathx/stats.hpp"
 #include "sim/environment.hpp"
 
 namespace chronos::core {
+
+namespace {
+/// fork() tag for locate_batch's base stream ("locate" in ASCII).
+constexpr std::uint64_t kLocateBatchTag = 0x6C6F63617465ull;
+}  // namespace
 
 ChronosEngine::ChronosEngine(sim::Environment env, EngineConfig config)
     : config_(config),
@@ -41,27 +47,46 @@ RangingResult ChronosEngine::measure_distance(const sim::Device& tx,
   return pipeline_.estimate(sweep, calibration_);
 }
 
+BatchResult ChronosEngine::measure_batch(
+    std::span<const RangingRequest> requests, mathx::Rng& rng,
+    const BatchOptions& options) const {
+  return run_ranging_batch(link_, pipeline_, calibration_, requests, rng,
+                           options);
+}
+
 LocateOutcome ChronosEngine::locate(
     const sim::Device& tx, const sim::Device& rx, mathx::Rng& rng,
-    const std::optional<geom::Vec2>& hint) const {
+    const std::optional<geom::Vec2>& hint, const BatchOptions& options) const {
   CHRONOS_EXPECTS(rx.antennas.size() >= 2,
                   "localization needs a receiver with >= 2 antennas");
 
+  // The tx-major pair loop is now a thin client of the batched runtime:
+  // enumerate every (tx antenna, rx antenna) pair as a RangingRequest and
+  // let the pool range them.
+  std::vector<RangingRequest> requests;
+  requests.reserve(tx.antennas.size() * rx.antennas.size());
+  for (std::size_t ta = 0; ta < tx.antennas.size(); ++ta) {
+    for (std::size_t ra = 0; ra < rx.antennas.size(); ++ra) {
+      requests.push_back({tx, ta, rx, ra});
+    }
+  }
+  BatchResult batch = measure_batch(requests, rng, options);
+
   LocateOutcome out;
+  out.details = std::move(batch.results);
   // Pairwise distances between every transmit and receive antenna enter
   // one joint optimisation (paper §8). Per-TX-antenna solutions are also
   // recorded for diagnostics.
   std::vector<geom::Vec2> anchors;
   std::vector<double> all_distances;
+  std::size_t k = 0;
   for (std::size_t ta = 0; ta < tx.antennas.size(); ++ta) {
     std::vector<double> distances;
     distances.reserve(rx.antennas.size());
-    for (std::size_t ra = 0; ra < rx.antennas.size(); ++ra) {
-      auto res = measure_distance(tx, ta, rx, ra, rng);
-      distances.push_back(res.distance_m);
+    for (std::size_t ra = 0; ra < rx.antennas.size(); ++ra, ++k) {
+      distances.push_back(out.details[k].distance_m);
       anchors.push_back(rx.antennas[ra]);
-      all_distances.push_back(res.distance_m);
-      out.details.push_back(std::move(res));
+      all_distances.push_back(out.details[k].distance_m);
     }
     if (ta == 0) out.antenna_distances_m = distances;
     out.per_tx_antenna.push_back(
@@ -75,6 +100,25 @@ LocateOutcome ChronosEngine::locate(
   // per-link multipath bias, which decorrelates across antennas.
   out.result = localize(anchors, all_distances, localizer_, hint);
   return out;
+}
+
+std::vector<LocateOutcome> ChronosEngine::locate_batch(
+    std::span<const LocateRequest> requests, mathx::Rng& rng,
+    const BatchOptions& options) const {
+  const mathx::Rng base = rng.fork(kLocateBatchTag);
+  const int threads = resolve_batch_threads(options, requests.size());
+
+  // One pool job per localization; each job runs its own pair sweeps
+  // inline (BatchOptions{1}) so the pool is never nested. Job i draws from
+  // base.split(i), making the output a pure function of (engine, requests,
+  // rng state) exactly as in run_ranging_batch.
+  auto process = [&](std::size_t i) {
+    mathx::Rng child = base.split(static_cast<std::uint64_t>(i));
+    return locate(requests[i].tx, requests[i].rx, child, requests[i].hint,
+                  BatchOptions{1});
+  };
+
+  return parallel_map(threads, requests.size(), process);
 }
 
 }  // namespace chronos::core

@@ -5,13 +5,24 @@
 // operations the paper's applications use:
 //   * calibrate()        one-time known-distance hardware calibration (§7)
 //   * measure_distance() sub-ns ToF + distance between two antennas (§4-7)
+//   * measure_batch()    many antenna pairs ranged concurrently (batched
+//                        runtime, core/batch.hpp)
 //   * locate()           device-to-device relative localization (§8)
+//   * locate_batch()     many localizations ranged concurrently
+//
+// Threading model: every const method is safe to call concurrently from
+// multiple threads (the engine holds no mutable state after construction /
+// calibration), provided each caller supplies its own mathx::Rng. The
+// batched entry points manage that internally via Rng::split, so their
+// results are bit-identical for every thread count.
 #pragma once
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
+#include "core/batch.hpp"
 #include "core/calibration.hpp"
 #include "core/localization.hpp"
 #include "core/ranging.hpp"
@@ -59,12 +70,31 @@ class ChronosEngine {
                                  const sim::Device& rx, std::size_t rx_antenna,
                                  mathx::Rng& rng) const;
 
-  /// Full device-to-device localization: ranges the TX's first antenna
-  /// against every RX antenna and trilaterates in the RX's frame (absolute
-  /// floor-plan coordinates, since the sim knows antenna positions).
+  /// Ranges every request on the worker pool. Bit-reproducible: the results
+  /// depend only on (engine, requests, rng state) — never on thread count
+  /// or scheduling. Advances `rng` by exactly one fork().
+  BatchResult measure_batch(std::span<const RangingRequest> requests,
+                            mathx::Rng& rng,
+                            const BatchOptions& options = {}) const;
+
+  /// Full device-to-device localization: ranges every TX antenna against
+  /// every RX antenna (tx-major, via the batched runtime) and trilaterates
+  /// in the RX's frame (absolute floor-plan coordinates, since the sim
+  /// knows antenna positions). `options` sizes the worker pool; results are
+  /// identical for every setting.
   LocateOutcome locate(const sim::Device& tx, const sim::Device& rx,
                        mathx::Rng& rng,
-                       const std::optional<geom::Vec2>& hint = std::nullopt) const;
+                       const std::optional<geom::Vec2>& hint = std::nullopt,
+                       const BatchOptions& options = {}) const;
+
+  /// Runs many independent localizations concurrently, one worker-pool job
+  /// per request (each job's pair sweep runs inline within it). Request i
+  /// draws from its own split stream, so results are bit-identical for
+  /// every thread count and equal `locate()` on that stream. Advances `rng`
+  /// by exactly one fork().
+  std::vector<LocateOutcome> locate_batch(
+      std::span<const LocateRequest> requests, mathx::Rng& rng,
+      const BatchOptions& options = {}) const;
 
   const CalibrationTable& calibration() const { return calibration_; }
   const RangingPipeline& pipeline() const { return pipeline_; }

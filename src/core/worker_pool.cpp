@@ -1,0 +1,53 @@
+#include "core/worker_pool.hpp"
+
+#include <algorithm>
+
+#include "mathx/contracts.hpp"
+
+namespace chronos::core {
+
+WorkerPool::WorkerPool(std::size_t threads) {
+  CHRONOS_EXPECTS(threads >= 1, "worker pool needs at least one thread");
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this]() { worker_loop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  wakeup_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+std::size_t WorkerPool::default_thread_count() {
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+void WorkerPool::enqueue(std::function<void()> job) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    CHRONOS_EXPECTS(!stopping_, "submit on a stopping worker pool");
+    queue_.push(std::move(job));
+  }
+  wakeup_.notify_one();
+}
+
+void WorkerPool::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wakeup_.wait(lock, [this]() { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      job = std::move(queue_.front());
+      queue_.pop();
+    }
+    job();  // packaged_task: exceptions land in the future, never escape
+  }
+}
+
+}  // namespace chronos::core

@@ -1,0 +1,96 @@
+// A fixed-size, futures-based worker pool.
+//
+// The execution substrate of the batched ranging runtime: a small set of
+// long-lived threads drain a FIFO of type-erased jobs, and every submission
+// returns a std::future so callers can collect results (or rethrown
+// exceptions) in a deterministic order of their own choosing. The pool
+// itself imposes no ordering on *execution* — determinism is the job
+// author's responsibility (see core/batch.hpp, which derives one
+// mathx::Rng::split stream per request so results are independent of
+// scheduling).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace chronos::core {
+
+class WorkerPool {
+ public:
+  /// Spawns exactly `threads` workers (>= 1 enforced). The pool never grows
+  /// or shrinks; sizing happens once, at construction.
+  explicit WorkerPool(std::size_t threads);
+
+  /// Drains the queue (pending jobs still run) and joins all workers.
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues `fn` and returns a future for its result. Exceptions thrown
+  /// by the job are captured and rethrown from future::get(). Safe to call
+  /// from any thread, including from inside a running job (jobs must not
+  /// block on futures of jobs queued behind them, though — classic
+  /// fixed-pool deadlock).
+  template <typename F, typename R = std::invoke_result_t<F&>>
+  std::future<R> submit(F fn) {
+    auto task = std::make_shared<std::packaged_task<R()>>(std::move(fn));
+    std::future<R> result = task->get_future();
+    enqueue([task]() { (*task)(); });
+    return result;
+  }
+
+  /// Pool size that saturates this machine: hardware_concurrency, with a
+  /// floor of 1 for environments where it reports 0.
+  static std::size_t default_thread_count();
+
+ private:
+  void enqueue(std::function<void()> job);
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable wakeup_;
+  bool stopping_ = false;
+};
+
+/// Maps `fn(i)` over i in [0, n), returning results in index order.
+/// `threads <= 1` runs inline on the caller (no pool); otherwise a
+/// fixed-size pool fans the calls out and the first exception (by index)
+/// is rethrown after the pool drains, so no job outlives fn's captures.
+/// The shared dispatch scaffolding of the batched runtime entry points
+/// (core/batch.cpp, ChronosEngine::locate_batch).
+template <typename Fn>
+auto parallel_map(int threads, std::size_t n, Fn fn)
+    -> std::vector<std::invoke_result_t<Fn&, std::size_t>> {
+  using R = std::invoke_result_t<Fn&, std::size_t>;
+  std::vector<R> out(n);
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = fn(i);
+    return out;
+  }
+  std::vector<std::future<R>> futures;
+  futures.reserve(n);
+  {
+    WorkerPool pool(static_cast<std::size_t>(threads));
+    for (std::size_t i = 0; i < n; ++i) {
+      futures.push_back(pool.submit([&fn, i]() { return fn(i); }));
+    }
+    for (std::size_t i = 0; i < n; ++i) out[i] = futures[i].get();
+  }
+  return out;
+}
+
+}  // namespace chronos::core

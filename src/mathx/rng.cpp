@@ -19,6 +19,13 @@ Rng Rng::fork(std::uint64_t tag) {
   return Rng(splitmix64(base ^ splitmix64(tag)));
 }
 
+Rng Rng::split(std::uint64_t stream_id) const {
+  // Two rounds of splitmix over (seed, stream_id). The extra constant keeps
+  // split(0) distinct from the parent's own stream and from fork() children.
+  const std::uint64_t base = splitmix64(seed_ ^ 0xC2B2AE3D27D4EB4Full);
+  return Rng(splitmix64(base ^ splitmix64(stream_id)));
+}
+
 double Rng::uniform(double lo, double hi) {
   CHRONOS_EXPECTS(hi >= lo, "uniform: hi < lo");
   std::uniform_real_distribution<double> d(lo, hi);

@@ -14,13 +14,34 @@ namespace chronos::mathx {
 /// A seeded PRNG facade over std::mt19937_64 with the distributions the
 /// simulator needs. Cheap to copy; distinct subsystems should derive their
 /// own stream via `fork()` to avoid cross-coupling of draws.
+///
+/// Two stream-derivation primitives with different contracts:
+///   * `fork(tag)`   consumes one draw from the parent, so the child depends
+///                   on *where* in the parent's sequence it was taken.
+///   * `split(id)`   is const and position-independent: the child depends
+///                   only on (construction seed, id). Splitting the same Rng
+///                   with ids 0..N-1 yields the same N streams no matter how
+///                   many draws the parent has made or in which order the
+///                   splits happen — the property the batched ranging
+///                   runtime relies on to stay bit-reproducible regardless
+///                   of worker scheduling.
 class Rng {
  public:
-  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+  explicit Rng(std::uint64_t seed) : engine_(seed), seed_(seed) {}
 
   /// Derives an independent child stream. Uses splitmix-style mixing of the
   /// parent's next raw draw so forks with different tags diverge.
   Rng fork(std::uint64_t tag);
+
+  /// Derives an independent child stream identified by `stream_id`,
+  /// deterministically from this Rng's construction seed alone. Does not
+  /// advance this generator; safe to call concurrently from many threads.
+  /// Distinct stream_ids give decorrelated streams (splitmix64 mixing).
+  Rng split(std::uint64_t stream_id) const;
+
+  /// The seed this generator was constructed with (the identity `split`
+  /// derives children from).
+  std::uint64_t seed() const { return seed_; }
 
   double uniform(double lo, double hi);
   int uniform_int(int lo, int hi);  ///< inclusive bounds
@@ -40,6 +61,7 @@ class Rng {
 
  private:
   std::mt19937_64 engine_;
+  std::uint64_t seed_;
 };
 
 }  // namespace chronos::mathx

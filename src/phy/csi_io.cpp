@@ -1,5 +1,6 @@
 #include "phy/csi_io.hpp"
 
+#include <cmath>
 #include <fstream>
 #include <iomanip>
 #include <sstream>
@@ -8,6 +9,15 @@
 #include "phy/band_plan.hpp"
 
 namespace chronos::phy {
+
+namespace {
+// Hard cap on the declared band count: the US plan has 35 bands, so any
+// header beyond this is garbage (and, unchecked, a resize() driven by
+// attacker-controlled input). Part of the parser-robustness contract —
+// read_sweep must reject malformed input with std::invalid_argument, never
+// crash, hang, or allocate unboundedly (tests/test_phy_csi_io_robustness).
+constexpr std::size_t kMaxBands = 256;
+}  // namespace
 
 void write_sweep(std::ostream& os, const SweepMeasurement& sweep) {
   validate(sweep);
@@ -51,9 +61,16 @@ SweepMeasurement read_sweep(std::istream& is) {
     ls >> tag;
 
     if (tag == "sweep") {
+      CHRONOS_EXPECTS(!have_header, "duplicate sweep header");
       std::size_t n = 0;
       ls >> n >> sweep.sweep_duration_s;
       CHRONOS_EXPECTS(!ls.fail() && n > 0, "bad sweep header");
+      CHRONOS_EXPECTS(n <= kMaxBands, "sweep header declares too many bands");
+      CHRONOS_EXPECTS(std::isfinite(sweep.sweep_duration_s) &&
+                          sweep.sweep_duration_s > 0.0,
+                      "sweep duration must be finite and positive");
+      std::string extra;
+      CHRONOS_EXPECTS(!(ls >> extra), "trailing garbage in sweep header");
       sweep.bands.resize(n);
       bands.resize(n);
       pending_forward.resize(n);
@@ -64,6 +81,8 @@ SweepMeasurement read_sweep(std::istream& is) {
       int channel = 0;
       ls >> idx >> channel;
       CHRONOS_EXPECTS(!ls.fail() && idx < bands.size(), "bad band record");
+      std::string extra;
+      CHRONOS_EXPECTS(!(ls >> extra), "trailing garbage in band record");
       bands[idx] = band_by_channel(channel);
     } else if (tag == "capture") {
       CHRONOS_EXPECTS(have_header, "capture record before sweep header");
@@ -72,16 +91,34 @@ SweepMeasurement read_sweep(std::istream& is) {
       CsiMeasurement m;
       ls >> bi >> dir >> m.timestamp_s >> m.snr_db;
       CHRONOS_EXPECTS(!ls.fail() && bi < bands.size(), "bad capture record");
+      CHRONOS_EXPECTS(dir == 'f' || dir == 'r',
+                      "capture direction must be 'f' or 'r'");
+      CHRONOS_EXPECTS(std::isfinite(m.timestamp_s) && std::isfinite(m.snr_db),
+                      "capture timestamp/SNR must be finite");
       m.band = bands[bi];
       m.direction = dir == 'f' ? Direction::kForward : Direction::kReverse;
       m.values.reserve(intel5300_subcarrier_indices().size());
       double re = 0.0, im = 0.0;
-      while (ls >> re >> im) m.values.emplace_back(re, im);
+      while (ls >> re) {
+        CHRONOS_EXPECTS(!(ls >> im).fail(),
+                        "capture has an odd or malformed CSI component");
+        CHRONOS_EXPECTS(std::isfinite(re) && std::isfinite(im),
+                        "CSI values must be finite");
+        m.values.emplace_back(re, im);
+        CHRONOS_EXPECTS(
+            m.values.size() <= intel5300_subcarrier_indices().size(),
+            "capture carries more than 30 subcarrier values");
+      }
+      // The loop must have stopped at end-of-line, not on a token that
+      // failed to parse as a number (trailing garbage).
+      CHRONOS_EXPECTS(ls.eof(), "trailing garbage in capture record");
       CHRONOS_EXPECTS(
           m.values.size() == intel5300_subcarrier_indices().size(),
           "capture must carry 30 subcarrier values");
 
       if (m.direction == Direction::kForward) {
+        CHRONOS_EXPECTS(pending_forward[bi].values.empty(),
+                        "two forward captures without a reverse between them");
         pending_forward[bi] = std::move(m);
       } else {
         CHRONOS_EXPECTS(!pending_forward[bi].values.empty(),
@@ -95,6 +132,10 @@ SweepMeasurement read_sweep(std::istream& is) {
     }
   }
   CHRONOS_EXPECTS(have_header, "stream contains no sweep header");
+  for (const auto& pending : pending_forward) {
+    CHRONOS_EXPECTS(pending.values.empty(),
+                    "forward capture without a reverse partner at end of stream");
+  }
   validate(sweep);
   return sweep;
 }

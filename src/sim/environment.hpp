@@ -32,6 +32,12 @@ struct Scatterer {
 
 /// A propagation environment: reflecting walls plus non-reflecting blockers
 /// (interior partitions) that attenuate paths crossing them, creating NLOS.
+///
+/// Thread safety: a value type with no hidden state — once built (and not
+/// being mutated) it can be shared read-only across any number of threads;
+/// line_of_sight() and the geometry queries in sim/multipath.hpp are pure
+/// functions of the const members. tests/test_sim_concurrency.cpp exercises
+/// this under ThreadSanitizer.
 struct Environment {
   std::string name;
   std::vector<geom::Wall> walls;     ///< specular reflectors

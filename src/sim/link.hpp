@@ -54,13 +54,24 @@ struct LinkSimConfig {
 };
 
 /// Simulates Chronos sweeps between one TX antenna and one RX antenna.
+///
+/// Thread safety: after construction the simulator is immutable — every
+/// member function is const and touches no hidden mutable state (no caches,
+/// no member RNG; randomness comes exclusively from the caller-supplied
+/// `rng`). Concurrent simulate_sweep / paths_between calls on one shared
+/// instance are safe and produce results identical to sequential calls,
+/// provided each thread passes its own mathx::Rng (e.g. one Rng::split
+/// stream per task, as core/batch.cpp does). This guarantee is enforced by
+/// tests/test_sim_concurrency.cpp under ThreadSanitizer.
 class LinkSimulator {
  public:
   LinkSimulator(Environment env, LinkSimConfig config);
 
   /// Runs one full sweep and returns the per-band CSI captures. `tx`/`rx`
   /// devices supply radio personalities; `tx_antenna`/`rx_antenna` select
-  /// the antenna pair being ranged.
+  /// the antenna pair being ranged. Safe for concurrent calls (see class
+  /// comment); all draws come from `rng`, which must not be shared across
+  /// threads.
   phy::SweepMeasurement simulate_sweep(const Device& tx, std::size_t tx_antenna,
                                        const Device& rx, std::size_t rx_antenna,
                                        mathx::Rng& rng) const;

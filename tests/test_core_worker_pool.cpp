@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "core/worker_pool.hpp"
+
+namespace chronos::core {
+namespace {
+
+TEST(WorkerPool, RunsEveryJobExactlyOnce) {
+  WorkerPool pool(4);
+  std::atomic<int> runs{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 200; ++i) {
+    futures.push_back(pool.submit([&runs]() { runs.fetch_add(1); }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(runs.load(), 200);
+}
+
+TEST(WorkerPool, FuturesCarryReturnValues) {
+  WorkerPool pool(3);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 50; ++i) {
+    futures.push_back(pool.submit([i]() { return i * i; }));
+  }
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i * i);
+  }
+}
+
+TEST(WorkerPool, ExceptionsPropagateThroughFutures) {
+  WorkerPool pool(2);
+  auto ok = pool.submit([]() { return 7; });
+  auto bad = pool.submit(
+      []() -> int { throw std::runtime_error("job failed"); });
+  EXPECT_EQ(ok.get(), 7);
+  EXPECT_THROW((void)bad.get(), std::runtime_error);
+}
+
+TEST(WorkerPool, SingleThreadPoolStillCompletes) {
+  WorkerPool pool(1);
+  EXPECT_EQ(pool.size(), 1u);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 20; ++i) futures.push_back(pool.submit([i]() { return i; }));
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i);
+  }
+}
+
+TEST(WorkerPool, DestructorDrainsPendingJobs) {
+  std::atomic<int> runs{0};
+  {
+    WorkerPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      (void)pool.submit([&runs]() { runs.fetch_add(1); });
+    }
+    // No get(): destruction must still run everything queued.
+  }
+  EXPECT_EQ(runs.load(), 64);
+}
+
+TEST(WorkerPool, ConcurrentSubmittersAreSafe) {
+  WorkerPool pool(4);
+  std::atomic<int> runs{0};
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < 4; ++t) {
+    submitters.emplace_back([&pool, &runs]() {
+      std::vector<std::future<void>> futures;
+      for (int i = 0; i < 50; ++i) {
+        futures.push_back(pool.submit([&runs]() { runs.fetch_add(1); }));
+      }
+      for (auto& f : futures) f.get();
+    });
+  }
+  for (auto& t : submitters) t.join();
+  EXPECT_EQ(runs.load(), 200);
+}
+
+TEST(WorkerPool, RejectsZeroThreads) {
+  EXPECT_THROW(WorkerPool pool(0), std::invalid_argument);
+}
+
+TEST(WorkerPool, DefaultThreadCountIsPositive) {
+  EXPECT_GE(WorkerPool::default_thread_count(), 1u);
+}
+
+}  // namespace
+}  // namespace chronos::core

@@ -38,6 +38,55 @@ TEST(Rng, ForkedStreamsAreIndependentOfParentDrawCount) {
   EXPECT_NE(childA.uniform(0.0, 1.0), childC.uniform(0.0, 1.0));
 }
 
+TEST(Rng, SplitIsIndependentOfParentDrawPosition) {
+  // The batched-runtime contract: split(id) depends only on the seed, so a
+  // parent that has produced any number of draws still derives the same
+  // child streams — scheduling can never change what a stream contains.
+  Rng fresh(99);
+  Rng advanced(99);
+  for (int i = 0; i < 1000; ++i) (void)advanced.uniform(0.0, 1.0);
+  auto a = fresh.split(17);
+  auto b = advanced.split(17);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+  }
+}
+
+TEST(Rng, SplitDoesNotAdvanceParent) {
+  Rng with_split(7);
+  Rng without(7);
+  (void)with_split.split(0);
+  (void)with_split.split(1);
+  EXPECT_EQ(with_split.uniform(0.0, 1.0), without.uniform(0.0, 1.0));
+}
+
+TEST(Rng, SplitStreamsDecorrelate) {
+  Rng parent(3);
+  auto a = parent.split(0);
+  auto b = parent.split(1);
+  int same = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (a.uniform_int(0, 1000) == b.uniform_int(0, 1000)) ++same;
+  }
+  EXPECT_LT(same, 5);
+  // Child id 0 is not the parent's own stream either.
+  auto c = parent.split(0);
+  Rng parent_copy(3);
+  EXPECT_NE(c.uniform(0.0, 1.0), parent_copy.uniform(0.0, 1.0));
+}
+
+TEST(Rng, SplitSurvivesCopies) {
+  // A copied Rng keeps the construction seed, so splits taken through the
+  // copy agree with splits taken through the original.
+  Rng original(21);
+  Rng copy = original;
+  (void)copy.uniform(0.0, 1.0);
+  auto a = original.split(4);
+  auto b = copy.split(4);
+  EXPECT_EQ(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+  EXPECT_EQ(original.seed(), 21u);
+}
+
 TEST(Rng, UniformStaysInBounds) {
   Rng rng(99);
   for (int i = 0; i < 1000; ++i) {
