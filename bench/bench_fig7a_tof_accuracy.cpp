@@ -61,10 +61,13 @@ int main() {
                            mathx::percentile(err_nlos_ns, 95.0), "ns");
   std::printf("  (%d placements per condition, seed 99, %d worker threads)\n",
               kTrials, batch.threads_used);
-  bench::json_summary(
-      "fig7a", {{"los_median_ns", mathx::median(err_los_ns)},
-                {"los_p95_ns", mathx::percentile(err_los_ns, 95.0)},
-                {"nlos_median_ns", mathx::median(err_nlos_ns)},
-                {"nlos_p95_ns", mathx::percentile(err_nlos_ns, 95.0)}});
+  std::vector<std::pair<std::string, double>> metrics = {
+      {"los_median_ns", mathx::median(err_los_ns)},
+      {"los_p95_ns", mathx::percentile(err_los_ns, 95.0)},
+      {"nlos_median_ns", mathx::median(err_nlos_ns)},
+      {"nlos_p95_ns", mathx::percentile(err_nlos_ns, 95.0)}};
+  bench::append_percentiles(metrics, "los", "ns", err_los_ns);
+  bench::append_percentiles(metrics, "nlos", "ns", err_nlos_ns);
+  bench::json_summary("fig7a", metrics);
   return 0;
 }

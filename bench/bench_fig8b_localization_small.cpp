@@ -52,11 +52,14 @@ int main() {
                            mathx::median(err_los), "m");
   bench::paper_vs_measured("NLOS median localization error", 1.18,
                            mathx::median(err_nlos), "m");
-  bench::json_summary("fig8b",
-                      {{"los_median_m", mathx::median(err_los)},
-                       {"nlos_median_m", mathx::median(err_nlos)},
-                       {"valid_fraction",
-                        static_cast<double>(err_los.size() + err_nlos.size()) /
-                            static_cast<double>(jobs.size())}});
+  std::vector<std::pair<std::string, double>> metrics = {
+      {"los_median_m", mathx::median(err_los)},
+      {"nlos_median_m", mathx::median(err_nlos)},
+      {"valid_fraction",
+       static_cast<double>(err_los.size() + err_nlos.size()) /
+           static_cast<double>(jobs.size())}};
+  bench::append_percentiles(metrics, "los", "m", err_los);
+  bench::append_percentiles(metrics, "nlos", "m", err_nlos);
+  bench::json_summary("fig8b", metrics);
   return 0;
 }

@@ -53,7 +53,14 @@ int main() {
                            mathx::median(err_los), "m");
   bench::paper_vs_measured("NLOS median localization error", 0.62,
                            mathx::median(err_nlos), "m");
-  bench::json_summary("fig8c", {{"los_median_m", mathx::median(err_los)},
-                                {"nlos_median_m", mathx::median(err_nlos)}});
+  std::vector<std::pair<std::string, double>> metrics = {
+      {"los_median_m", mathx::median(err_los)},
+      {"nlos_median_m", mathx::median(err_nlos)},
+      {"valid_fraction",
+       static_cast<double>(err_los.size() + err_nlos.size()) /
+           static_cast<double>(jobs.size())}};
+  bench::append_percentiles(metrics, "los", "m", err_los);
+  bench::append_percentiles(metrics, "nlos", "m", err_nlos);
+  bench::json_summary("fig8c", metrics);
   return 0;
 }

@@ -68,4 +68,30 @@ inline void json_summary(
   std::printf("}}\n");
 }
 
+/// Overload for dynamically built metric lists (e.g. one entry per kernel).
+inline void json_summary(
+    const std::string& figure,
+    std::span<const std::pair<std::string, double>> metrics) {
+  std::printf("SUMMARY {\"figure\":\"%s\",\"metrics\":{", figure.c_str());
+  bool first = true;
+  for (const auto& [name, value] : metrics) {
+    std::printf("%s\"%s\":%.17g", first ? "" : ",", name.c_str(), value);
+    first = false;
+  }
+  std::printf("}}\n");
+}
+
+/// Convenience for CDF-style sample sets: appends `<prefix>_p50_<unit>` and
+/// `<prefix>_p90_<unit>` percentile metrics (the golden gates track these so
+/// distribution-tail regressions fail the drift check, not just medians).
+inline void append_percentiles(
+    std::vector<std::pair<std::string, double>>& metrics,
+    const std::string& prefix, const std::string& unit,
+    std::span<const double> samples) {
+  metrics.emplace_back(prefix + "_p50_" + unit,
+                       mathx::percentile(samples, 50.0));
+  metrics.emplace_back(prefix + "_p90_" + unit,
+                       mathx::percentile(samples, 90.0));
+}
+
 }  // namespace chronos::bench

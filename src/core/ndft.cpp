@@ -9,106 +9,121 @@
 
 namespace chronos::core {
 
-std::size_t DelayGrid::size() const {
-  CHRONOS_EXPECTS(max_s > min_s && step_s > 0.0, "bad delay grid");
-  return static_cast<std::size_t>((max_s - min_s) / step_s) + 1;
+namespace {
+
+/// Scratch for the workspace-less solver overloads. Thread-local so the
+/// batched runtime's workers never contend or share buffers.
+NdftWorkspace& tls_workspace() {
+  thread_local NdftWorkspace ws;
+  return ws;
 }
 
-double DelayGrid::delay_at(std::size_t i) const {
-  return min_s + static_cast<double>(i) * step_s;
+void split_into(std::span<const std::complex<double>> v, std::vector<double>& re,
+                std::vector<double>& im) {
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    re[i] = v[i].real();
+    im[i] = v[i].imag();
+  }
 }
+
+std::vector<std::complex<double>> merge_planes(std::span<const double> re,
+                                               std::span<const double> im) {
+  std::vector<std::complex<double>> out(re.size());
+  for (std::size_t i = 0; i < re.size(); ++i) out[i] = {re[i], im[i]};
+  return out;
+}
+
+/// ||F p - h||_2 with the forward product restricted to `active` (must list
+/// exactly p's nonzero columns). Matches the legacy dense residual
+/// computation bit-for-bit.
+double residual_norm_active(const NdftPlan& plan, NdftWorkspace& ws) {
+  plan.forward_active(ws.p_re.data(), ws.p_im.data(), ws.active,
+                      ws.fp_re.data(), ws.fp_im.data());
+  double acc = 0.0;
+  for (std::size_t r = 0; r < plan.rows(); ++r) {
+    const double dr = ws.fp_re[r] - ws.h_re[r];
+    const double di = ws.fp_im[r] - ws.h_im[r];
+    acc += dr * dr + di * di;
+  }
+  return std::sqrt(acc);
+}
+
+}  // namespace
 
 NdftSolver::NdftSolver(std::vector<double> row_freqs_hz, DelayGrid grid,
                        std::vector<double> row_weights)
-    : row_freqs_hz_(std::move(row_freqs_hz)),
-      grid_(grid),
-      row_weights_(std::move(row_weights)) {
-  CHRONOS_EXPECTS(!row_freqs_hz_.empty(), "need at least one row frequency");
-  if (row_weights_.empty()) {
-    row_weights_.assign(row_freqs_hz_.size(), 1.0);
-  }
-  CHRONOS_EXPECTS(row_weights_.size() == row_freqs_hz_.size(),
-                  "row weight count must match row count");
-  for (double w : row_weights_)
-    CHRONOS_EXPECTS(w >= 0.0, "row weights must be non-negative");
-
-  const std::size_t n = row_freqs_hz_.size();
-  const std::size_t m = grid_.size();
-  f_ = mathx::ComplexMatrix(n, m);
-  for (std::size_t i = 0; i < n; ++i) {
-    // Row entries are a geometric sequence in the column index:
-    // e^{-j2pi f (tau0 + k step)} = e^{-j2pi f tau0} * (e^{-j2pi f step})^k.
-    const std::complex<double> start =
-        row_weights_[i] *
-        std::polar(1.0, -mathx::kTwoPi * row_freqs_hz_[i] * grid_.min_s);
-    const std::complex<double> ratio =
-        std::polar(1.0, -mathx::kTwoPi * row_freqs_hz_[i] * grid_.step_s);
-    std::complex<double> cur = start;
-    auto row = f_.row(i);
-    for (std::size_t k = 0; k < m; ++k) {
-      row[k] = cur;
-      cur *= ratio;
-      // Renormalise periodically: the recurrence drifts in magnitude by
-      // ~1 ulp per step, which matters over thousands of columns.
-      if ((k & 0x3FF) == 0x3FF) {
-        const double mag = std::abs(cur);
-        if (mag > 0.0) cur *= row_weights_[i] / mag;
-      }
-    }
-  }
-  const double sigma = mathx::spectral_norm(f_);
-  CHRONOS_ENSURES(sigma > 0.0, "NDFT matrix has zero spectral norm");
-  gamma_ = 1.0 / (sigma * sigma);
-}
+    : plan_(NdftPlan::get_or_create(row_freqs_hz, grid, row_weights)) {}
 
 void NdftSolver::sparsify(std::span<std::complex<double>> p,
                           double threshold) {
   CHRONOS_EXPECTS(threshold >= 0.0, "negative soft threshold");
+  // Squared-magnitude comparison first: only the few survivors above the
+  // threshold pay for a square root (the iterate is sparse, so that is
+  // almost none of the grid).
+  const double thr_sq = threshold * threshold;
   for (auto& v : p) {
-    const double mag = std::abs(v);
-    if (mag < threshold) {
+    const double msq = std::norm(v);
+    if (msq <= thr_sq) {
       v = {0.0, 0.0};
     } else {
+      const double mag = std::sqrt(msq);
       v *= (mag - threshold) / mag;
     }
   }
 }
 
-double NdftSolver::effective_alpha(std::span<const std::complex<double>> h,
+double NdftSolver::effective_alpha(NdftWorkspace& ws,
                                    const IstaOptions& opts) const {
   CHRONOS_EXPECTS(opts.alpha > 0.0, "alpha must be positive");
   if (!opts.relative_alpha) return opts.alpha;
   // Scale-free knob: alpha relative to the strongest matched-filter
   // response max|F^H h| (the largest gradient magnitude at p = 0).
-  const auto mf = f_.multiply_adjoint(h);
-  double peak = 0.0;
-  for (const auto& v : mf) peak = std::max(peak, std::abs(v));
+  plan_->adjoint(ws.h_re.data(), ws.h_im.data(), ws.grad_re.data(),
+                 ws.grad_im.data());
+  // Argmax over squared magnitudes (|.| is monotone in |.|^2), then a single
+  // exact std::abs at the winner — same peak value as the legacy per-element
+  // std::abs pass without thousands of hypot calls.
+  double peak_sq = 0.0;
+  std::size_t peak_k = 0;
+  for (std::size_t k = 0; k < plan_->cols(); ++k) {
+    const double msq =
+        ws.grad_re[k] * ws.grad_re[k] + ws.grad_im[k] * ws.grad_im[k];
+    if (msq > peak_sq) {
+      peak_sq = msq;
+      peak_k = k;
+    }
+  }
+  const double peak =
+      std::abs(std::complex<double>{ws.grad_re[peak_k], ws.grad_im[peak_k]});
   CHRONOS_EXPECTS(peak > 0.0, "input channel vector is all zero");
   return opts.alpha * peak;
 }
 
 std::vector<std::complex<double>> NdftSolver::synthesize(
     std::span<const std::complex<double>> p) const {
-  return f_.multiply(p);
+  return plan_->matrix().multiply(p);
 }
 
 std::vector<std::complex<double>> NdftSolver::apply_weights(
     std::span<const std::complex<double>> h) const {
-  CHRONOS_EXPECTS(h.size() == row_weights_.size(),
+  const auto& weights = plan_->row_weights();
+  CHRONOS_EXPECTS(h.size() == weights.size(),
                   "weight application size mismatch");
   std::vector<std::complex<double>> out(h.size());
-  for (std::size_t i = 0; i < h.size(); ++i) out[i] = row_weights_[i] * h[i];
+  for (std::size_t i = 0; i < h.size(); ++i) out[i] = weights[i] * h[i];
   return out;
 }
 
 double NdftSolver::matched_filter(std::span<const std::complex<double>> h,
                                   double delay_s) const {
-  CHRONOS_EXPECTS(h.size() == f_.rows(), "channel vector/row count mismatch");
-  std::complex<double> acc{0.0, 0.0};
-  for (std::size_t i = 0; i < h.size(); ++i) {
-    acc += h[i] * std::polar(1.0, mathx::kTwoPi * row_freqs_hz_[i] * delay_s);
-  }
-  return std::abs(acc);
+  return plan_->matched_filter(h, delay_s);
+}
+
+void NdftSolver::matched_filter_scan(std::span<const std::complex<double>> h,
+                                     double u0, double du, std::size_t count,
+                                     std::span<double> out) const {
+  CHRONOS_EXPECTS(out.size() >= count, "scan output buffer too small");
+  plan_->matched_filter_scan(h, u0, du, count, out.data());
 }
 
 double NdftSolver::refine_delay(std::span<const std::complex<double>> h,
@@ -122,22 +137,19 @@ double NdftSolver::refine_delay(std::span<const std::complex<double>> h,
   const double hi0 = coarse_delay_s + half_width_s;
   constexpr int kScanPoints = 61;
   const double scan_step = (hi0 - lo0) / (kScanPoints - 1);
-  double best_u = coarse_delay_s;
-  double best_mf = -1.0;
-  for (int i = 0; i < kScanPoints; ++i) {
-    const double u = lo0 + scan_step * i;
-    const double mf = matched_filter(h, u);
-    if (mf > best_mf) {
-      best_mf = mf;
-      best_u = u;
-    }
+  double scan[kScanPoints];
+  plan_->matched_filter_scan(h, lo0, scan_step, kScanPoints, scan);
+  int best_i = 0;
+  for (int i = 1; i < kScanPoints; ++i) {
+    if (scan[i] > scan[best_i]) best_i = i;
   }
+  const double best_u = lo0 + scan_step * best_i;
   double lo = best_u - scan_step;
   double hi = best_u + scan_step;
   for (int it = 0; it < 50; ++it) {
     const double m1 = lo + (hi - lo) / 3.0;
     const double m2 = hi - (hi - lo) / 3.0;
-    if (matched_filter(h, m1) < matched_filter(h, m2)) {
+    if (plan_->matched_filter(h, m1) < plan_->matched_filter(h, m2)) {
       lo = m1;
     } else {
       hi = m2;
@@ -148,32 +160,64 @@ double NdftSolver::refine_delay(std::span<const std::complex<double>> h,
 
 SparseSolveResult NdftSolver::solve_ista(
     std::span<const std::complex<double>> h, const IstaOptions& opts) const {
-  CHRONOS_EXPECTS(h.size() == f_.rows(), "channel vector/row count mismatch");
-  const double alpha = effective_alpha(h, opts);
+  return solve_ista(h, opts, tls_workspace());
+}
+
+SparseSolveResult NdftSolver::solve_ista(
+    std::span<const std::complex<double>> h, const IstaOptions& opts,
+    NdftWorkspace& ws) const {
+  const NdftPlan& plan = *plan_;
+  const std::size_t n = plan.rows();
+  const std::size_t m = plan.cols();
+  CHRONOS_EXPECTS(h.size() == n, "channel vector/row count mismatch");
+
+  ws.bind(n, m);
+  split_into(h, ws.h_re, ws.h_im);
+  const double alpha = effective_alpha(ws, opts);
   const double h_norm = mathx::norm2(h);
   const double tol = opts.epsilon * std::max(h_norm, 1e-30);
+  const double gamma = plan.gamma();
+  const double thr = gamma * alpha;
+  const double thr_sq = thr * thr;
 
   SparseSolveResult out;
-  out.grid = grid_;
-  std::vector<std::complex<double>> p(grid_.size(), {0.0, 0.0});
-  std::vector<std::complex<double>> p_next(grid_.size());
+  out.grid = plan.grid();
+  std::fill(ws.p_re.begin(), ws.p_re.end(), 0.0);
+  std::fill(ws.p_im.begin(), ws.p_im.end(), 0.0);
+  ws.active.clear();
 
+  // Everything inside this loop works on workspace buffers: no allocation
+  // per iteration (tests/test_core_ndft_kernels.cpp counts).
   for (int t = 0; t < opts.max_iterations; ++t) {
-    // Gradient step on ||h - F p||^2: p - gamma * F^H (F p - h).
-    auto fp = f_.multiply(p);
-    for (std::size_t i = 0; i < fp.size(); ++i) fp[i] -= h[i];
-    const auto grad = f_.multiply_adjoint(fp);
-    for (std::size_t k = 0; k < p.size(); ++k) {
-      p_next[k] = p[k] - gamma_ * grad[k];
-    }
-    sparsify(p_next, gamma_ * alpha);
+    // Gradient step on ||h - F p||^2: p - gamma * F^H (F p - h). The forward
+    // product walks only p's nonzero columns (ws.active, tracked below).
+    plan.gradient(ws.p_re.data(), ws.p_im.data(), ws);
 
-    // ||p_{t+1} - p_t||_2 convergence check (paper's epsilon test).
+    // Fused update + SPARSIFY + convergence accumulation, one pass over the
+    // grid. Also rebuilds the active set for the next iteration's forward.
     double diff_sq = 0.0;
-    for (std::size_t k = 0; k < p.size(); ++k) {
-      diff_sq += std::norm(p_next[k] - p[k]);
+    ws.active.clear();
+    for (std::size_t k = 0; k < m; ++k) {
+      const double pr = ws.p_re[k] - gamma * ws.grad_re[k];
+      const double pi = ws.p_im[k] - gamma * ws.grad_im[k];
+      double nr = 0.0;
+      double ni = 0.0;
+      const double msq = pr * pr + pi * pi;
+      if (msq > thr_sq) {
+        const double mag = std::sqrt(msq);
+        const double scale = (mag - thr) / mag;
+        nr = pr * scale;
+        ni = pi * scale;
+        if (nr != 0.0 || ni != 0.0) {
+          ws.active.push_back(static_cast<std::uint32_t>(k));
+        }
+      }
+      const double dr = nr - ws.p_re[k];
+      const double di = ni - ws.p_im[k];
+      diff_sq += dr * dr + di * di;
+      ws.p_re[k] = nr;
+      ws.p_im[k] = ni;
     }
-    p.swap(p_next);
     out.iterations = t + 1;
     if (std::sqrt(diff_sq) < tol) {
       out.converged = true;
@@ -181,44 +225,81 @@ SparseSolveResult NdftSolver::solve_ista(
     }
   }
 
-  auto residual = f_.multiply(p);
-  for (std::size_t i = 0; i < residual.size(); ++i) residual[i] -= h[i];
-  out.residual_norm = mathx::norm2(residual);
-  out.coefficients = std::move(p);
+  out.residual_norm = residual_norm_active(plan, ws);
+  out.coefficients = merge_planes(ws.p_re, ws.p_im);
   return out;
 }
 
 SparseSolveResult NdftSolver::solve_fista(
     std::span<const std::complex<double>> h, const IstaOptions& opts) const {
-  CHRONOS_EXPECTS(h.size() == f_.rows(), "channel vector/row count mismatch");
-  const double alpha = effective_alpha(h, opts);
+  return solve_fista(h, opts, tls_workspace());
+}
+
+SparseSolveResult NdftSolver::solve_fista(
+    std::span<const std::complex<double>> h, const IstaOptions& opts,
+    NdftWorkspace& ws) const {
+  const NdftPlan& plan = *plan_;
+  const std::size_t n = plan.rows();
+  const std::size_t m = plan.cols();
+  CHRONOS_EXPECTS(h.size() == n, "channel vector/row count mismatch");
+
+  ws.bind(n, m);
+  split_into(h, ws.h_re, ws.h_im);
+  const double alpha = effective_alpha(ws, opts);
   const double h_norm = mathx::norm2(h);
   const double tol = opts.epsilon * std::max(h_norm, 1e-30);
+  const double gamma = plan.gamma();
+  const double thr = gamma * alpha;
+  const double thr_sq = thr * thr;
 
   SparseSolveResult out;
-  out.grid = grid_;
-  const std::size_t m = grid_.size();
-  std::vector<std::complex<double>> p(m, {0.0, 0.0});
-  std::vector<std::complex<double>> y = p;  // extrapolated point
-  std::vector<std::complex<double>> p_prev = p;
+  out.grid = plan.grid();
+  std::fill(ws.p_re.begin(), ws.p_re.end(), 0.0);
+  std::fill(ws.p_im.begin(), ws.p_im.end(), 0.0);
+  std::fill(ws.y_re.begin(), ws.y_re.end(), 0.0);
+  std::fill(ws.y_im.begin(), ws.y_im.end(), 0.0);
+  ws.active.clear();  // tracks the extrapolated point y's nonzeros
   double t_momentum = 1.0;
 
+  // Allocation-free loop (see the ISTA comment); the gradient is taken at
+  // the extrapolated point y, whose support ws.active tracks.
   for (int t = 0; t < opts.max_iterations; ++t) {
-    auto fy = f_.multiply(y);
-    for (std::size_t i = 0; i < fy.size(); ++i) fy[i] -= h[i];
-    const auto grad = f_.multiply_adjoint(fy);
+    plan.gradient(ws.y_re.data(), ws.y_im.data(), ws);
 
-    p_prev.swap(p);
-    for (std::size_t k = 0; k < m; ++k) p[k] = y[k] - gamma_ * grad[k];
-    sparsify(p, gamma_ * alpha);
+    ws.p_prev_re.swap(ws.p_re);
+    ws.p_prev_im.swap(ws.p_im);
+    for (std::size_t k = 0; k < m; ++k) {
+      const double pr = ws.y_re[k] - gamma * ws.grad_re[k];
+      const double pi = ws.y_im[k] - gamma * ws.grad_im[k];
+      double nr = 0.0;
+      double ni = 0.0;
+      const double msq = pr * pr + pi * pi;
+      if (msq > thr_sq) {
+        const double mag = std::sqrt(msq);
+        const double scale = (mag - thr) / mag;
+        nr = pr * scale;
+        ni = pi * scale;
+      }
+      ws.p_re[k] = nr;
+      ws.p_im[k] = ni;
+    }
 
-    const double t_next = (1.0 + std::sqrt(1.0 + 4.0 * t_momentum * t_momentum)) / 2.0;
+    const double t_next =
+        (1.0 + std::sqrt(1.0 + 4.0 * t_momentum * t_momentum)) / 2.0;
     const double beta = (t_momentum - 1.0) / t_next;
     double diff_sq = 0.0;
+    ws.active.clear();
     for (std::size_t k = 0; k < m; ++k) {
-      const std::complex<double> step = p[k] - p_prev[k];
-      y[k] = p[k] + beta * step;
-      diff_sq += std::norm(step);
+      const double step_re = ws.p_re[k] - ws.p_prev_re[k];
+      const double step_im = ws.p_im[k] - ws.p_prev_im[k];
+      const double yr = ws.p_re[k] + beta * step_re;
+      const double yi = ws.p_im[k] + beta * step_im;
+      ws.y_re[k] = yr;
+      ws.y_im[k] = yi;
+      diff_sq += step_re * step_re + step_im * step_im;
+      if (yr != 0.0 || yi != 0.0) {
+        ws.active.push_back(static_cast<std::uint32_t>(k));
+      }
     }
     t_momentum = t_next;
 
@@ -229,10 +310,16 @@ SparseSolveResult NdftSolver::solve_fista(
     }
   }
 
-  auto residual = f_.multiply(p);
-  for (std::size_t i = 0; i < residual.size(); ++i) residual[i] -= h[i];
-  out.residual_norm = mathx::norm2(residual);
-  out.coefficients = std::move(p);
+  // The final iterate p's support differs from ws.active (which tracks y),
+  // so collect it before the active-restricted residual.
+  ws.active.clear();
+  for (std::size_t k = 0; k < m; ++k) {
+    if (ws.p_re[k] != 0.0 || ws.p_im[k] != 0.0) {
+      ws.active.push_back(static_cast<std::uint32_t>(k));
+    }
+  }
+  out.residual_norm = residual_norm_active(plan, ws);
+  out.coefficients = merge_planes(ws.p_re, ws.p_im);
   return out;
 }
 
@@ -279,60 +366,86 @@ std::vector<std::complex<double>> solve_complex_linear(
 
 SparseSolveResult NdftSolver::solve_omp(
     std::span<const std::complex<double>> h, std::size_t max_paths) const {
-  CHRONOS_EXPECTS(h.size() == f_.rows(), "channel vector/row count mismatch");
-  CHRONOS_EXPECTS(max_paths >= 1 && max_paths <= f_.rows(),
+  const NdftPlan& plan = *plan_;
+  const mathx::ComplexMatrix& f = plan.matrix();
+  const std::size_t n = plan.rows();
+  const std::size_t m = plan.cols();
+  CHRONOS_EXPECTS(h.size() == n, "channel vector/row count mismatch");
+  CHRONOS_EXPECTS(max_paths >= 1 && max_paths <= n,
                   "OMP path count must be in [1, rows]");
 
+  NdftWorkspace& ws = tls_workspace();
+  ws.bind(n, m);
+
   SparseSolveResult out;
-  out.grid = grid_;
-  out.coefficients.assign(grid_.size(), {0.0, 0.0});
+  out.grid = plan.grid();
+  out.coefficients.assign(m, {0.0, 0.0});
 
   std::vector<std::size_t> support;
+  support.reserve(max_paths);
+  // O(1) membership instead of std::find over the support per column.
+  std::vector<char> in_support(m, 0);
   std::vector<std::complex<double>> residual(h.begin(), h.end());
   std::vector<std::complex<double>> amplitudes;
 
+  // The active-set Gram G = Fs^H Fs and rhs c = Fs^H h grow by one atom per
+  // iteration; entries for already-selected atom pairs never change, so
+  // only the new row/column is computed (O(s n) instead of O(s^2 n)).
+  mathx::ComplexMatrix gram_full(max_paths, max_paths);
+  std::vector<std::complex<double>> rhs_full(max_paths);
+
   for (std::size_t it = 0; it < max_paths; ++it) {
-    // Atom most correlated with the residual.
-    const auto corr = f_.multiply_adjoint(residual);
+    // Atom most correlated with the residual (SoA adjoint kernel).
+    split_into(residual, ws.fp_re, ws.fp_im);
+    plan.adjoint(ws.fp_re.data(), ws.fp_im.data(), ws.grad_re.data(),
+                 ws.grad_im.data());
     std::size_t best_k = 0;
     double best_mag = -1.0;
-    for (std::size_t k = 0; k < corr.size(); ++k) {
-      const double mag = std::abs(corr[k]);
-      if (mag > best_mag &&
-          std::find(support.begin(), support.end(), k) == support.end()) {
+    for (std::size_t k = 0; k < m; ++k) {
+      const double mag =
+          std::abs(std::complex<double>{ws.grad_re[k], ws.grad_im[k]});
+      if (mag > best_mag && !in_support[k]) {
         best_mag = mag;
         best_k = k;
       }
     }
     if (best_mag <= 1e-12) break;
     support.push_back(best_k);
+    in_support[best_k] = 1;
 
-    // Least squares on the active set via normal equations G a = c with
-    // G = Fs^H Fs, c = Fs^H h.
     const std::size_t s = support.size();
+    for (std::size_t a_i = 0; a_i < s; ++a_i) {
+      std::complex<double> to_new{0.0, 0.0};
+      for (std::size_t r = 0; r < n; ++r) {
+        to_new += std::conj(f(r, support[a_i])) * f(r, best_k);
+      }
+      gram_full(a_i, s - 1) = to_new;
+      // The Gram is Hermitian, and conj-of-sum equals sum-of-conj exactly
+      // in IEEE arithmetic, so the mirror entry needs no second pass.
+      gram_full(s - 1, a_i) = std::conj(to_new);
+    }
+    std::complex<double> rhs_new{0.0, 0.0};
+    for (std::size_t r = 0; r < n; ++r) {
+      rhs_new += std::conj(f(r, best_k)) * h[r];
+    }
+    rhs_full[s - 1] = rhs_new;
+
+    // Least squares on the active set via normal equations G a = c.
     mathx::ComplexMatrix gram(s, s);
     std::vector<std::complex<double>> rhs(s);
     for (std::size_t a_i = 0; a_i < s; ++a_i) {
       for (std::size_t b_i = 0; b_i < s; ++b_i) {
-        std::complex<double> acc{0.0, 0.0};
-        for (std::size_t r = 0; r < f_.rows(); ++r) {
-          acc += std::conj(f_(r, support[a_i])) * f_(r, support[b_i]);
-        }
-        gram(a_i, b_i) = acc;
+        gram(a_i, b_i) = gram_full(a_i, b_i);
       }
-      std::complex<double> acc{0.0, 0.0};
-      for (std::size_t r = 0; r < f_.rows(); ++r) {
-        acc += std::conj(f_(r, support[a_i])) * h[r];
-      }
-      rhs[a_i] = acc;
+      rhs[a_i] = rhs_full[a_i];
     }
     amplitudes = solve_complex_linear(std::move(gram), std::move(rhs));
 
     // Update residual r = h - Fs a.
     residual.assign(h.begin(), h.end());
-    for (std::size_t r = 0; r < f_.rows(); ++r) {
+    for (std::size_t r = 0; r < n; ++r) {
       for (std::size_t a_i = 0; a_i < s; ++a_i) {
-        residual[r] -= f_(r, support[a_i]) * amplitudes[a_i];
+        residual[r] -= f(r, support[a_i]) * amplitudes[a_i];
       }
     }
     out.iterations = static_cast<int>(it + 1);

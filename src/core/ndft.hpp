@@ -13,27 +13,24 @@
 // Extensions beyond the paper, used by the ablation benches:
 //  * FISTA — Nesterov-accelerated variant, typically ~10x fewer iterations;
 //  * OMP   — greedy orthogonal matching pursuit, a classic sparse baseline.
+//
+// Performance: all solver entry points run on the structure-exploiting
+// kernel layer in core/ndft_kernels.hpp — shared cached plans (split-complex
+// SoA Fourier matrix + precomputed step size), caller-owned workspaces that
+// make the iteration loops allocation-free, an active-set forward product
+// once the iterate is sparse, and recurrence matched-filter scans.
 #pragma once
 
 #include <complex>
 #include <cstddef>
+#include <memory>
 #include <span>
 #include <vector>
 
+#include "core/ndft_kernels.hpp"
 #include "mathx/matrix.hpp"
 
 namespace chronos::core {
-
-/// Uniform grid of candidate delays for the recovered profile. For two-way
-/// combined channels the axis is u = 2*tau (first peak at twice the ToF).
-struct DelayGrid {
-  double min_s = 0.0;
-  double max_s = 400e-9;
-  double step_s = 0.1e-9;
-
-  std::size_t size() const;
-  double delay_at(std::size_t i) const;
-};
 
 struct IstaOptions {
   /// Sparsity weight alpha. When `relative_alpha` is true (default), the
@@ -66,21 +63,36 @@ struct SparseSolveResult {
 /// Chronos uses them to de-emphasise the 2.4 GHz rows, whose quadrant-fix
 /// exponent (h^8) distorts their magnitudes relative to the shared sparse
 /// model — they still contribute phase aperture, just with less authority.
+///
+/// Construction consults the process-wide NdftPlan cache: building two
+/// solvers with identical (frequencies, grid, weights) shares one matrix
+/// and one spectral-norm run.
 class NdftSolver {
  public:
   NdftSolver(std::vector<double> row_freqs_hz, DelayGrid grid,
              std::vector<double> row_weights = {});
 
   /// Paper Algorithm 1: proximal gradient with step gamma = 1/||F||_2^2.
+  /// The overloads without a workspace use a per-thread one; pass an
+  /// explicit NdftWorkspace to control scratch reuse (e.g. one per worker).
+  /// The iteration loop performs no heap allocation either way.
   SparseSolveResult solve_ista(std::span<const std::complex<double>> h,
                                const IstaOptions& opts = {}) const;
+  SparseSolveResult solve_ista(std::span<const std::complex<double>> h,
+                               const IstaOptions& opts,
+                               NdftWorkspace& ws) const;
 
   /// Accelerated variant (extension).
   SparseSolveResult solve_fista(std::span<const std::complex<double>> h,
                                 const IstaOptions& opts = {}) const;
+  SparseSolveResult solve_fista(std::span<const std::complex<double>> h,
+                                const IstaOptions& opts,
+                                NdftWorkspace& ws) const;
 
   /// Greedy orthogonal matching pursuit picking `max_paths` atoms
-  /// (extension / ablation baseline).
+  /// (extension / ablation baseline). The Gram matrix of the active set is
+  /// extended incrementally (one new row/column per atom) rather than
+  /// rebuilt from scratch each iteration.
   SparseSolveResult solve_omp(std::span<const std::complex<double>> h,
                               std::size_t max_paths) const;
 
@@ -94,6 +106,13 @@ class NdftSolver {
   double matched_filter(std::span<const std::complex<double>> h,
                         double delay_s) const;
 
+  /// Batched matched filter over the arithmetic sequence u0 + k*du,
+  /// k in [0, count): one phasor rotation per row per sample instead of a
+  /// std::polar per row per sample. `out` must hold `count` doubles.
+  void matched_filter_scan(std::span<const std::complex<double>> h, double u0,
+                           double du, std::size_t count,
+                           std::span<double> out) const;
+
   /// Continuous refinement of a coarse peak location: ternary-searches the
   /// matched filter within +-half_width_s of `coarse_delay_s`. The grid
   /// step (0.125 ns default) undersamples the ~0.15 ns mainlobe that the
@@ -101,11 +120,15 @@ class NdftSolver {
   double refine_delay(std::span<const std::complex<double>> h,
                       double coarse_delay_s, double half_width_s) const;
 
-  const mathx::ComplexMatrix& matrix() const { return f_; }
-  const DelayGrid& grid() const { return grid_; }
-  double gamma() const { return gamma_; }
+  const mathx::ComplexMatrix& matrix() const { return plan_->matrix(); }
+  const DelayGrid& grid() const { return plan_->grid(); }
+  double gamma() const { return plan_->gamma(); }
+  /// The shared kernel plan backing this solver.
+  const NdftPlan& plan() const { return *plan_; }
   /// Per-row weights (all ones when defaulted).
-  const std::vector<double>& row_weights() const { return row_weights_; }
+  const std::vector<double>& row_weights() const {
+    return plan_->row_weights();
+  }
   /// Applies the row weights to a raw measurement vector (h_i -> w_i h_i).
   std::vector<std::complex<double>> apply_weights(
       std::span<const std::complex<double>> h) const;
@@ -115,14 +138,9 @@ class NdftSolver {
   static void sparsify(std::span<std::complex<double>> p, double threshold);
 
  private:
-  double effective_alpha(std::span<const std::complex<double>> h,
-                         const IstaOptions& opts) const;
+  double effective_alpha(NdftWorkspace& ws, const IstaOptions& opts) const;
 
-  std::vector<double> row_freqs_hz_;
-  DelayGrid grid_;
-  std::vector<double> row_weights_;
-  mathx::ComplexMatrix f_;
-  double gamma_ = 0.0;
+  std::shared_ptr<const NdftPlan> plan_;
 };
 
 }  // namespace chronos::core

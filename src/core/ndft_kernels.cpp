@@ -1,0 +1,369 @@
+#include "core/ndft_kernels.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <mutex>
+
+#include "mathx/constants.hpp"
+#include "mathx/contracts.hpp"
+
+// Non-aliasing hint for the kernel hot loops: lets the vectorizer drop the
+// runtime overlap checks it otherwise versions the loops with.
+#if defined(__GNUC__) || defined(__clang__)
+#define CHRONOS_RESTRICT __restrict__
+#elif defined(_MSC_VER)
+#define CHRONOS_RESTRICT __restrict
+#else
+#define CHRONOS_RESTRICT
+#endif
+
+namespace chronos::core {
+
+std::size_t DelayGrid::size() const {
+  CHRONOS_EXPECTS(max_s > min_s && step_s > 0.0, "bad delay grid");
+  // (max-min)/step can land just below the true quotient when the span is an
+  // exact multiple of the step (150e-9 / 0.125e-9 evaluates to 1199.99...98),
+  // silently dropping the end point. A relative epsilon nudge keeps grids
+  // specified as a whole number of steps inclusive of max_s while leaving
+  // genuinely fractional spans truncated as before.
+  const double q = (max_s - min_s) / step_s;
+  const double nudged =
+      q * (1.0 + 4.0 * std::numeric_limits<double>::epsilon());
+  return static_cast<std::size_t>(nudged) + 1;
+}
+
+double DelayGrid::delay_at(std::size_t i) const {
+  return min_s + static_cast<double>(i) * step_s;
+}
+
+void NdftWorkspace::bind(std::size_t rows, std::size_t cols) {
+  h_re.resize(rows);
+  h_im.resize(rows);
+  fp_re.resize(rows);
+  fp_im.resize(rows);
+  grad_re.resize(cols);
+  grad_im.resize(cols);
+  p_re.resize(cols);
+  p_im.resize(cols);
+  p_prev_re.resize(cols);
+  p_prev_im.resize(cols);
+  y_re.resize(cols);
+  y_im.resize(cols);
+  // Reserve up front: the solver loops push nonzero indices per iteration
+  // after clear(), which must never reallocate.
+  active.reserve(cols);
+  active.clear();
+}
+
+NdftPlan::NdftPlan(std::vector<double> row_freqs_hz, DelayGrid grid,
+                   std::vector<double> row_weights)
+    : freqs_(std::move(row_freqs_hz)),
+      weights_(std::move(row_weights)),
+      grid_(grid) {
+  CHRONOS_EXPECTS(!freqs_.empty(), "need at least one row frequency");
+  if (weights_.empty()) {
+    weights_.assign(freqs_.size(), 1.0);
+  }
+  CHRONOS_EXPECTS(weights_.size() == freqs_.size(),
+                  "row weight count must match row count");
+  for (double w : weights_)
+    CHRONOS_EXPECTS(w >= 0.0, "row weights must be non-negative");
+
+  n_ = freqs_.size();
+  m_ = grid_.size();
+  f_ = mathx::ComplexMatrix(n_, m_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    // Row entries are a geometric sequence in the column index:
+    // e^{-j2pi f (tau0 + k step)} = e^{-j2pi f tau0} * (e^{-j2pi f step})^k.
+    const std::complex<double> start =
+        weights_[i] *
+        std::polar(1.0, -mathx::kTwoPi * freqs_[i] * grid_.min_s);
+    const std::complex<double> ratio =
+        std::polar(1.0, -mathx::kTwoPi * freqs_[i] * grid_.step_s);
+    std::complex<double> cur = start;
+    auto row = f_.row(i);
+    for (std::size_t k = 0; k < m_; ++k) {
+      row[k] = cur;
+      cur *= ratio;
+      // Renormalise periodically: the recurrence drifts in magnitude by
+      // ~1 ulp per step, which matters over thousands of columns.
+      if ((k & 0x3FF) == 0x3FF) {
+        const double mag = std::abs(cur);
+        if (mag > 0.0) cur *= weights_[i] / mag;
+      }
+    }
+  }
+  // Split-complex planes mirror f_ exactly, so the SoA kernels see the very
+  // same matrix entries as the legacy dense path.
+  re_.resize(n_ * m_);
+  im_.resize(n_ * m_);
+  const auto flat = f_.flat();
+  for (std::size_t i = 0; i < flat.size(); ++i) {
+    re_[i] = flat[i].real();
+    im_[i] = flat[i].imag();
+  }
+  // The fixed-seed power iteration makes gamma a pure function of the key,
+  // which is what lets cached plans reproduce uncached numerics exactly.
+  const double sigma = mathx::spectral_norm(f_);
+  CHRONOS_ENSURES(sigma > 0.0, "NDFT matrix has zero spectral norm");
+  gamma_ = 1.0 / (sigma * sigma);
+}
+
+namespace {
+
+struct PlanCacheEntry {
+  std::shared_ptr<const NdftPlan> plan;
+};
+
+std::mutex& plan_cache_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::vector<PlanCacheEntry>& plan_cache() {
+  static std::vector<PlanCacheEntry> cache;
+  return cache;
+}
+
+/// Oldest-entry eviction bound. A plan stores the matrix twice (dense
+/// complex for the matrix() API and OMP, SoA planes for the kernels):
+/// 2*n*m*16 bytes, ~1.3 MB for the default ranging grid (35 x 1201) and
+/// ~4.5 MB for the widest DelayGrid default (400 ns / 0.1 ns). 32 entries
+/// comfortably covers every distinct (band plan, grid, weights) combination
+/// a process mixes in practice while bounding worst-case retention.
+constexpr std::size_t kPlanCacheMax = 32;
+
+bool key_matches(const NdftPlan& plan, std::span<const double> freqs,
+                 const DelayGrid& grid, std::span<const double> weights) {
+  const DelayGrid& g = plan.grid();
+  return g.min_s == grid.min_s && g.max_s == grid.max_s &&
+         g.step_s == grid.step_s &&
+         plan.row_freqs_hz().size() == freqs.size() &&
+         std::equal(freqs.begin(), freqs.end(),
+                    plan.row_freqs_hz().begin()) &&
+         plan.row_weights().size() == weights.size() &&
+         std::equal(weights.begin(), weights.end(),
+                    plan.row_weights().begin());
+}
+
+}  // namespace
+
+std::shared_ptr<const NdftPlan> NdftPlan::get_or_create(
+    std::span<const double> row_freqs_hz, const DelayGrid& grid,
+    std::span<const double> row_weights) {
+  CHRONOS_EXPECTS(!row_freqs_hz.empty(), "need at least one row frequency");
+  // Normalise the defaulted-weights spelling so both share one cache entry.
+  std::vector<double> weights(row_weights.begin(), row_weights.end());
+  if (weights.empty()) weights.assign(row_freqs_hz.size(), 1.0);
+
+  {
+    std::lock_guard<std::mutex> lock(plan_cache_mutex());
+    for (const auto& e : plan_cache()) {
+      if (key_matches(*e.plan, row_freqs_hz, grid, weights)) return e.plan;
+    }
+  }
+
+  // Build outside the lock: construction runs a spectral-norm power
+  // iteration, and blocking unrelated pipelines on it would serialise
+  // batch-engine startup. A racing duplicate build is resolved below by
+  // keeping the first inserted plan (both are bitwise identical anyway).
+  auto built = std::make_shared<const NdftPlan>(
+      std::vector<double>(row_freqs_hz.begin(), row_freqs_hz.end()), grid,
+      weights);
+
+  std::lock_guard<std::mutex> lock(plan_cache_mutex());
+  for (const auto& e : plan_cache()) {
+    if (key_matches(*e.plan, row_freqs_hz, grid, weights)) return e.plan;
+  }
+  if (plan_cache().size() >= kPlanCacheMax) {
+    plan_cache().erase(plan_cache().begin());
+  }
+  plan_cache().push_back({built});
+  return built;
+}
+
+std::size_t NdftPlan::cache_size() {
+  std::lock_guard<std::mutex> lock(plan_cache_mutex());
+  return plan_cache().size();
+}
+
+void NdftPlan::clear_cache() {
+  std::lock_guard<std::mutex> lock(plan_cache_mutex());
+  plan_cache().clear();
+}
+
+void NdftPlan::forward(const double* p_re, const double* p_im, double* out_re,
+                       double* out_im) const {
+  const std::size_t m = m_;
+  for (std::size_t r = 0; r < n_; ++r) {
+    const double* fr = re_.data() + r * m;
+    const double* fi = im_.data() + r * m;
+    double acc_re = 0.0;
+    double acc_im = 0.0;
+    // Per-element complex product then accumulation, in column order: the
+    // exact operation sequence of the legacy complex matvec.
+    for (std::size_t c = 0; c < m; ++c) {
+      const double tr = fr[c] * p_re[c] - fi[c] * p_im[c];
+      const double ti = fr[c] * p_im[c] + fi[c] * p_re[c];
+      acc_re += tr;
+      acc_im += ti;
+    }
+    out_re[r] = acc_re;
+    out_im[r] = acc_im;
+  }
+}
+
+void NdftPlan::forward_active(const double* p_re, const double* p_im,
+                              std::span<const std::uint32_t> cols,
+                              double* out_re, double* out_im) const {
+  const std::size_t m = m_;
+  for (std::size_t r = 0; r < n_; ++r) {
+    const double* fr = re_.data() + r * m;
+    const double* fi = im_.data() + r * m;
+    double acc_re = 0.0;
+    double acc_im = 0.0;
+    // Skipped columns hold exact zeros, whose contribution (w*0 = +0.0)
+    // leaves the accumulator bit-unchanged — so this matches the dense
+    // forward bit-for-bit as long as `cols` is ascending.
+    for (const std::uint32_t c : cols) {
+      const double tr = fr[c] * p_re[c] - fi[c] * p_im[c];
+      const double ti = fr[c] * p_im[c] + fi[c] * p_re[c];
+      acc_re += tr;
+      acc_im += ti;
+    }
+    out_re[r] = acc_re;
+    out_im[r] = acc_im;
+  }
+}
+
+void NdftPlan::adjoint(const double* x_re, const double* x_im,
+                       double* CHRONOS_RESTRICT out_re,
+                       double* CHRONOS_RESTRICT out_im) const {
+  const std::size_t m = m_;
+  std::fill(out_re, out_re + m, 0.0);
+  std::fill(out_im, out_im + m, 0.0);
+  // out[c] += conj(F[r][c]) * x[r]. Every out[c] receives one addend per
+  // row, applied in row order, so vectorising the column loop keeps the
+  // legacy accumulation order per component. Rows are blocked by four to
+  // amortise the out-plane read/modify/write traffic (which otherwise
+  // dominates: n passes over 2m doubles vs one pass over the 2nm planes);
+  // within a block the four addends stay sequential, preserving order.
+  std::size_t r = 0;
+  for (; r + 4 <= n_; r += 4) {
+    const double* CHRONOS_RESTRICT fr0 = re_.data() + (r + 0) * m;
+    const double* CHRONOS_RESTRICT fr1 = re_.data() + (r + 1) * m;
+    const double* CHRONOS_RESTRICT fr2 = re_.data() + (r + 2) * m;
+    const double* CHRONOS_RESTRICT fr3 = re_.data() + (r + 3) * m;
+    const double* CHRONOS_RESTRICT fi0 = im_.data() + (r + 0) * m;
+    const double* CHRONOS_RESTRICT fi1 = im_.data() + (r + 1) * m;
+    const double* CHRONOS_RESTRICT fi2 = im_.data() + (r + 2) * m;
+    const double* CHRONOS_RESTRICT fi3 = im_.data() + (r + 3) * m;
+    const double xr0 = x_re[r + 0], xi0 = x_im[r + 0];
+    const double xr1 = x_re[r + 1], xi1 = x_im[r + 1];
+    const double xr2 = x_re[r + 2], xi2 = x_im[r + 2];
+    const double xr3 = x_re[r + 3], xi3 = x_im[r + 3];
+    for (std::size_t c = 0; c < m; ++c) {
+      double acc_re = out_re[c];
+      double acc_im = out_im[c];
+      acc_re += fr0[c] * xr0 + fi0[c] * xi0;
+      acc_im += fr0[c] * xi0 - fi0[c] * xr0;
+      acc_re += fr1[c] * xr1 + fi1[c] * xi1;
+      acc_im += fr1[c] * xi1 - fi1[c] * xr1;
+      acc_re += fr2[c] * xr2 + fi2[c] * xi2;
+      acc_im += fr2[c] * xi2 - fi2[c] * xr2;
+      acc_re += fr3[c] * xr3 + fi3[c] * xi3;
+      acc_im += fr3[c] * xi3 - fi3[c] * xr3;
+      out_re[c] = acc_re;
+      out_im[c] = acc_im;
+    }
+  }
+  for (; r < n_; ++r) {
+    const double* CHRONOS_RESTRICT fr = re_.data() + r * m;
+    const double* CHRONOS_RESTRICT fi = im_.data() + r * m;
+    const double xr = x_re[r];
+    const double xi = x_im[r];
+    for (std::size_t c = 0; c < m; ++c) {
+      out_re[c] += fr[c] * xr + fi[c] * xi;
+      out_im[c] += fr[c] * xi - fi[c] * xr;
+    }
+  }
+}
+
+void NdftPlan::gradient(const double* p_re, const double* p_im,
+                        NdftWorkspace& ws) const {
+  forward_active(p_re, p_im, ws.active, ws.fp_re.data(), ws.fp_im.data());
+  for (std::size_t r = 0; r < n_; ++r) {
+    ws.fp_re[r] -= ws.h_re[r];
+    ws.fp_im[r] -= ws.h_im[r];
+  }
+  adjoint(ws.fp_re.data(), ws.fp_im.data(), ws.grad_re.data(),
+          ws.grad_im.data());
+}
+
+double NdftPlan::matched_filter(std::span<const std::complex<double>> h,
+                                double u) const {
+  CHRONOS_EXPECTS(h.size() == n_, "channel vector/row count mismatch");
+  std::complex<double> acc{0.0, 0.0};
+  for (std::size_t i = 0; i < n_; ++i) {
+    acc += h[i] * std::polar(1.0, mathx::kTwoPi * freqs_[i] * u);
+  }
+  return std::abs(acc);
+}
+
+void NdftPlan::matched_filter_scan(std::span<const std::complex<double>> h,
+                                   double u0, double du, std::size_t count,
+                                   double* out) const {
+  CHRONOS_EXPECTS(h.size() == n_, "channel vector/row count mismatch");
+  if (count == 0) return;
+
+  // Per-row rotators q_i = h_i e^{+j2pi f_i u}, advanced by one complex
+  // multiply per step. Re-anchored from std::polar every kReanchor steps so
+  // accumulated phase/magnitude rounding stays below ~1e-13 relative for
+  // scans of any length.
+  constexpr std::size_t kReanchor = 256;
+  constexpr std::size_t kStackRows = 64;
+  double stack_buf[4 * kStackRows];
+  std::vector<double> heap_buf;
+  double* buf = stack_buf;
+  if (n_ > kStackRows) {
+    heap_buf.resize(4 * n_);
+    buf = heap_buf.data();
+  }
+  double* q_re = buf;
+  double* q_im = buf + n_;
+  double* rot_re = buf + 2 * n_;
+  double* rot_im = buf + 3 * n_;
+
+  for (std::size_t i = 0; i < n_; ++i) {
+    const std::complex<double> ratio =
+        std::polar(1.0, mathx::kTwoPi * freqs_[i] * du);
+    rot_re[i] = ratio.real();
+    rot_im[i] = ratio.imag();
+  }
+
+  for (std::size_t k = 0; k < count; ++k) {
+    if (k % kReanchor == 0) {
+      const double u = u0 + static_cast<double>(k) * du;
+      for (std::size_t i = 0; i < n_; ++i) {
+        const std::complex<double> q =
+            h[i] * std::polar(1.0, mathx::kTwoPi * freqs_[i] * u);
+        q_re[i] = q.real();
+        q_im[i] = q.imag();
+      }
+    }
+    double acc_re = 0.0;
+    double acc_im = 0.0;
+    for (std::size_t i = 0; i < n_; ++i) {
+      acc_re += q_re[i];
+      acc_im += q_im[i];
+      const double nr = q_re[i] * rot_re[i] - q_im[i] * rot_im[i];
+      const double ni = q_re[i] * rot_im[i] + q_im[i] * rot_re[i];
+      q_re[i] = nr;
+      q_im[i] = ni;
+    }
+    out[k] = std::sqrt(acc_re * acc_re + acc_im * acc_im);
+  }
+}
+
+}  // namespace chronos::core

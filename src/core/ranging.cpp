@@ -103,9 +103,14 @@ RangingResult RangingPipeline::estimate(
   const double grid_min_u = config_.grid.min_s;
   const double grid_max_u = config_.grid.max_s;
 
-  // Local MF maximum (value and location) within +-half of `center`.
+  // Local MF maximum (value and location) within +-half of `center`. One
+  // recurrence scan replaces per-sample std::polar evaluation; out-of-grid
+  // samples are computed but skipped, matching the legacy clamp.
   auto local_mf_peak = [&](double center, double half) {
     constexpr int kProbePoints = 61;
+    const double step = 2.0 * half / static_cast<double>(kProbePoints - 1);
+    double scan[kProbePoints];
+    solver_.matched_filter_scan(h, center - half, step, kProbePoints, scan);
     double best_val = -1.0;
     double best_u = center;
     for (int s = 0; s < kProbePoints; ++s) {
@@ -113,9 +118,8 @@ RangingResult RangingPipeline::estimate(
                        2.0 * half * static_cast<double>(s) /
                            static_cast<double>(kProbePoints - 1);
       if (u < grid_min_u || u > grid_max_u) continue;
-      const double v = solver_.matched_filter(h, u);
-      if (v > best_val) {
-        best_val = v;
+      if (scan[s] > best_val) {
+        best_val = scan[s];
         best_u = u;
       }
     }
@@ -159,15 +163,21 @@ RangingResult RangingPipeline::estimate(
     const double hi = std::min(grid_max_u, gate_center_u + gate_half_u);
     constexpr double kScanStep = 0.04e-9;
     constexpr double kMergeRadius = 0.7e-9;
+    // One batched recurrence scan of the whole gate window (the hottest
+    // matched-filter loop in the pipeline), then local-maxima detection on
+    // the sampled values — same shape test as the legacy streaming scan.
     std::vector<std::pair<double, double>> maxima;  // (u, score)
-    double prev2 = -1.0, prev = -1.0;
-    for (double u = lo; u <= hi; u += kScanStep) {
-      const double v = solver_.matched_filter(h, u);
-      if (prev2 >= 0.0 && prev >= prev2 && prev > v) {
-        maxima.emplace_back(u - kScanStep, prev);
+    if (hi >= lo) {
+      const std::size_t count =
+          static_cast<std::size_t>((hi - lo) / kScanStep + 1e-9) + 1;
+      std::vector<double> scan(count);
+      solver_.matched_filter_scan(h, lo, kScanStep, count, scan);
+      for (std::size_t k = 2; k < count; ++k) {
+        if (scan[k - 1] >= scan[k - 2] && scan[k - 1] > scan[k]) {
+          maxima.emplace_back(lo + kScanStep * static_cast<double>(k - 1),
+                              scan[k - 1]);
+        }
       }
-      prev2 = prev;
-      prev = v;
     }
     // Merge nearby maxima, keeping the strongest representative.
     std::vector<std::pair<double, double>> merged;
