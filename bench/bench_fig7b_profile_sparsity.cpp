@@ -50,5 +50,10 @@ int main() {
                            mathx::mean(peak_counts), "");
   bench::paper_vs_measured("std-dev of dominant peaks", 1.95,
                            mathx::stddev(peak_counts), "");
+  std::vector<std::pair<std::string, double>> metrics = {
+      {"mean_dominant_peaks", mathx::mean(peak_counts)},
+      {"std_dominant_peaks", mathx::stddev(peak_counts)}};
+  bench::append_percentiles(metrics, "peaks", "n", peak_counts);
+  bench::json_summary("fig7b", metrics);
   return 0;
 }

@@ -45,5 +45,12 @@ int main() {
   bench::paper_vs_measured(
       "detection delay / ToF ratio (paper ~8x)", 8.0,
       mathx::median(detection_ns) / mathx::median(propagation_ns), "x");
+  std::vector<std::pair<std::string, double>> metrics = {
+      {"median_detection_ns", mathx::median(detection_ns)},
+      {"std_detection_ns", mathx::stddev(detection_ns)},
+      {"delay_tof_ratio",
+       mathx::median(detection_ns) / mathx::median(propagation_ns)}};
+  bench::append_percentiles(metrics, "detection", "ns", detection_ns);
+  bench::json_summary("fig7c", metrics);
   return 0;
 }

@@ -26,6 +26,8 @@ int main() {
 
   std::printf("  %-10s %-14s %-14s %-10s\n", "range", "median err (m)",
               "stddev (m)", "time (ns)");
+  std::vector<double> all_errors;
+  std::vector<std::pair<std::string, double>> metrics;
   for (std::size_t b = 0; b + 1 < std::size(edges); ++b) {
     std::vector<double> errors;
     for (int i = 0; i < kPerBucket; ++i) {
@@ -46,8 +48,14 @@ int main() {
     std::printf("  %.0f-%-7.0f %-14.3f %-14.3f %-10.2f\n", edges[b],
                 edges[b + 1], med, mathx::stddev(errors),
                 med / 0.299792458);
+    metrics.emplace_back("median_m_" + std::to_string(static_cast<int>(edges[b])) +
+                             "_" + std::to_string(static_cast<int>(edges[b + 1])),
+                         med);
+    all_errors.insert(all_errors.end(), errors.begin(), errors.end());
   }
   std::printf("\n");
   std::printf("  paper: ~0.10 m at short range, rising to 0.256 m at 12-15 m\n");
+  bench::append_percentiles(metrics, "err", "m", all_errors);
+  bench::json_summary("fig8a", metrics);
   return 0;
 }

@@ -1,0 +1,141 @@
+#!/usr/bin/env bash
+# Recaptures the bench golden files from a build tree and appends one entry
+# to the bench/BENCH_goldens.json history, so golden refreshes are (a) a
+# one-command operation and (b) leave an auditable trail of how the figure
+# metrics moved across PRs.
+#
+# Usage: scripts/capture_goldens.sh [build-dir] [note]
+#   build-dir  where the bench binaries live (default: build)
+#   note       free-text history annotation (default: "recapture")
+#
+# For every gated bench the script runs the binary, parses its SUMMARY
+# line, rewrites bench/goldens/<fig>.golden in place — preserving comment
+# lines and each metric's existing tolerance; brand-new metrics get a
+# default tolerance of max(50% of |value|, 0.05) — and records the raw
+# metrics in the history file. Review the diff before committing: a golden
+# refresh is a statement that the new values are correct.
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-build}"
+NOTE="${2:-recapture}"
+case "${BUILD_DIR}" in
+  /*) ;;
+  *) BUILD_DIR="${REPO_ROOT}/${BUILD_DIR}" ;;
+esac
+
+# bench binary -> golden file, mirroring chronos_add_golden registrations
+# in bench/CMakeLists.txt.
+PAIRS=(
+  "bench_fig7a_tof_accuracy:fig7a"
+  "bench_fig7b_profile_sparsity:fig7b"
+  "bench_fig7c_detection_delay:fig7c"
+  "bench_fig8a_distance_vs_range:fig8a"
+  "bench_fig8b_localization_small:fig8b"
+  "bench_fig8c_localization_large:fig8c"
+)
+
+for pair in "${PAIRS[@]}"; do
+  bench="${pair%%:*}"
+  if [[ ! -x "${BUILD_DIR}/bench/${bench}" ]]; then
+    echo "error: ${BUILD_DIR}/bench/${bench} not built (run the tier-1 build first)" >&2
+    exit 1
+  fi
+done
+
+SUMMARIES_FILE="$(mktemp)"
+trap 'rm -f "${SUMMARIES_FILE}"' EXIT
+for pair in "${PAIRS[@]}"; do
+  bench="${pair%%:*}"
+  fig="${pair##*:}"
+  echo "running ${bench} ..." >&2
+  summary="$("${BUILD_DIR}/bench/${bench}" | grep '^SUMMARY ' | tail -n 1 || true)"
+  if [[ -z "${summary}" ]]; then
+    echo "error: ${bench} emitted no SUMMARY line" >&2
+    exit 1
+  fi
+  printf '%s\t%s\n' "${fig}" "${summary#SUMMARY }" >>"${SUMMARIES_FILE}"
+done
+
+SUMMARIES="${SUMMARIES_FILE}" NOTE="${NOTE}" REPO_ROOT="${REPO_ROOT}" \
+python3 - <<'PY'
+import json
+import os
+import time
+
+repo = os.environ["REPO_ROOT"]
+note = os.environ["NOTE"]
+
+figures = {}
+with open(os.environ["SUMMARIES"]) as fh:
+    for line in fh:
+        fig, payload = line.rstrip("\n").split("\t", 1)
+        figures[fig] = json.loads(payload)["metrics"]
+
+# --- rewrite goldens: line order and comments preserved in place, each
+# --- metric keeps its tolerance and gets the freshly measured value ------
+for fig, metrics in figures.items():
+    path = os.path.join(repo, "bench", "goldens", f"{fig}.golden")
+    lines = []  # ("comment", text) | ("metric", name, tolerance)
+    if os.path.exists(path):
+        with open(path) as fh:
+            for line in fh:
+                stripped = line.strip()
+                if not stripped or stripped.startswith("#"):
+                    lines.append(("comment", line.rstrip("\n")))
+                    continue
+                name, _expected, tolerance = stripped.split()[:3]
+                lines.append(("metric", name, tolerance))
+    width = max(len(n) for n in metrics)
+
+    def metric_line(name, tolerance):
+        if tolerance is None:
+            tolerance = f"{max(abs(metrics[name]) * 0.5, 0.05):.4g}"
+        return f"{name:<{width}} {metrics[name]:<.6g} {tolerance}"
+
+    out, seen = [], set()
+    for entry in lines:
+        if entry[0] == "comment":
+            out.append(entry[1])
+        elif entry[1] in metrics:
+            out.append(metric_line(entry[1], entry[2]))
+            seen.add(entry[1])
+        else:
+            print(f"  dropping {entry[1]} (no longer in {fig} summary)")
+    for name in metrics:
+        if name not in seen:
+            out.append(metric_line(name, None))
+    with open(path, "w") as fh:
+        fh.write("\n".join(out) + "\n")
+    print(f"rewrote {os.path.relpath(path, repo)} ({len(metrics)} metrics)")
+
+# --- append one history entry --------------------------------------------
+hist_path = os.path.join(repo, "bench", "BENCH_goldens.json")
+if os.path.exists(hist_path):
+    with open(hist_path) as fh:
+        hist = json.load(fh)
+else:
+    hist = {
+        "bench": "figure goldens",
+        "description": (
+            "Raw SUMMARY metrics recorded at every golden recapture "
+            "(scripts/capture_goldens.sh). One entry per recapture; the "
+            "goldens under bench/goldens/ gate drift, this file keeps the "
+            "trajectory reviewable."
+        ),
+        "history": [],
+    }
+hist["history"].append(
+    {
+        "date": time.strftime("%Y-%m-%d"),
+        "note": note,
+        "figures": figures,
+    }
+)
+with open(hist_path, "w") as fh:
+    json.dump(hist, fh, indent=2)
+    fh.write("\n")
+print(f"appended history entry to {os.path.relpath(hist_path, repo)}")
+PY
+
+echo "done; review 'git diff bench/' before committing." >&2

@@ -1,7 +1,8 @@
 // The batched ranging runtime: many (tx antenna, rx antenna) sweeps ranged
-// concurrently on a fixed-size worker pool, with a determinism contract.
+// concurrently on a worker pool, with a determinism contract and an async
+// submission path.
 //
-// Contract — results are a pure function of (simulator, pipeline,
+// Contract — results are a pure function of (sweep source, pipeline,
 // calibration, requests, rng state at the call): every request i draws its
 // noise from an independent child stream `base.split(i)` where `base` is
 // forked once from the caller's rng, so thread count and worker scheduling
@@ -9,33 +10,37 @@
 // batched with 1 thread, and a plain sequential loop over the split streams
 // all agree exactly (tests/test_core_batch.cpp is the enforcement).
 //
-// This is the seam the ROADMAP's million-pair scaling path builds on:
-// sharding a request list across machines, async ingestion, and alternate
-// measurement backends all slot in behind `run_ranging_batch` without
-// disturbing the single-pair API.
+// The measurement substrate is the `core::SweepSource` seam
+// (core/sweep_source.hpp): the runtime is backend-generic, so simulated
+// sweeps, recorded traces, and future live-capture transports all range
+// through the identical code path.
+//
+// Two entry points:
+//   * run_ranging_batch     synchronous; runs inline for <= 1 thread,
+//                           otherwise fans out on a worker pool (a caller-
+//                           provided persistent pool, or a transient one);
+//   * submit_ranging_batch  asynchronous; enqueues every request on a
+//                           persistent pool and returns a future-style
+//                           BatchHandle immediately, enabling pipelined
+//                           ingestion (submit the next batch while the
+//                           previous one is still ranging).
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <vector>
 
 #include "core/calibration.hpp"
 #include "core/ranging.hpp"
+#include "core/sweep_source.hpp"
 #include "geom/vec2.hpp"
 #include "mathx/rng.hpp"
-#include "sim/link.hpp"
 
 namespace chronos::core {
 
-/// One unit of ranging work: which antenna of which device ranges against
-/// which antenna of which other device.
-struct RangingRequest {
-  sim::Device tx;
-  std::size_t tx_antenna = 0;
-  sim::Device rx;
-  std::size_t rx_antenna = 0;
-};
+class WorkerPool;
 
 /// One unit of localization work (see ChronosEngine::locate_batch).
 struct LocateRequest {
@@ -55,22 +60,89 @@ struct BatchResult {
   /// results[i] corresponds to requests[i] (submission order, always).
   std::vector<RangingResult> results;
   /// Wall-clock diagnostics; informational only, NOT covered by the
-  /// determinism contract.
+  /// determinism contract. For async submissions, wall_time_s spans
+  /// submit -> get() collection.
   int threads_used = 1;
   double wall_time_s = 0.0;
 };
 
-/// Ranges every request through `pipeline` against sweeps simulated on
-/// `link`. Advances `rng` by exactly one fork() regardless of batch size or
-/// thread count, so surrounding sequential code stays reproducible too.
+/// Future-style handle to a batch in flight on a persistent worker pool.
+///
+/// Obtained from submit_ranging_batch (or ChronosEngine::submit_batch).
+/// Results are collected once with get(). The handle is self-contained: it
+/// owns a copy of the requests plus shared references on the pool, source,
+/// pipeline, and calibration, so the submitting caller's request buffer may
+/// die immediately and the handle remains collectable even after the engine
+/// that issued it is destroyed. Movable, not copyable. Destroying a handle
+/// without get() is safe: in-flight jobs finish, their results are dropped.
+class BatchHandle {
+ public:
+  BatchHandle() = default;
+  BatchHandle(BatchHandle&&) noexcept;
+  BatchHandle& operator=(BatchHandle&&) noexcept;
+  ~BatchHandle();
+
+  BatchHandle(const BatchHandle&) = delete;
+  BatchHandle& operator=(const BatchHandle&) = delete;
+
+  /// True until get() consumes the handle.
+  bool valid() const { return state_ != nullptr; }
+
+  /// Number of requests in flight under this handle.
+  std::size_t size() const;
+
+  /// True once every request has finished (poll; never blocks).
+  bool ready() const;
+
+  /// Blocks until every request has finished.
+  void wait() const;
+
+  /// Blocks, then returns results in submission order. Rethrows the first
+  /// (by request index) job exception after the batch drains. Consumes the
+  /// handle (valid() becomes false).
+  BatchResult get();
+
+ private:
+  friend BatchHandle submit_ranging_batch(
+      std::shared_ptr<WorkerPool> pool,
+      std::shared_ptr<const SweepSource> source,
+      std::shared_ptr<const RangingPipeline> pipeline,
+      std::shared_ptr<const CalibrationTable> calibration,
+      std::span<const RangingRequest> requests, mathx::Rng& rng);
+  struct State;
+  std::shared_ptr<State> state_;
+};
+
+/// Async entry point: forks `rng` once (immediately, so the caller's stream
+/// advances identically to the synchronous path), enqueues every request on
+/// `pool`, and returns without waiting. The handle co-owns every argument,
+/// so no lifetime obligation survives the call. (For stack-owned pipeline
+/// objects, wrap them in a non-owning aliasing shared_ptr only if they
+/// provably outlive the handle — owning pointers are the safe default.)
+BatchHandle submit_ranging_batch(
+    std::shared_ptr<WorkerPool> pool,
+    std::shared_ptr<const SweepSource> source,
+    std::shared_ptr<const RangingPipeline> pipeline,
+    std::shared_ptr<const CalibrationTable> calibration,
+    std::span<const RangingRequest> requests, mathx::Rng& rng);
+
+/// Ranges every request through `pipeline` against sweeps produced by
+/// `source`. Advances `rng` by exactly one fork() regardless of batch size
+/// or thread count, so surrounding sequential code stays reproducible too.
 /// Rethrows the first (by request index) job exception after the pool
 /// drains.
-BatchResult run_ranging_batch(const sim::LinkSimulator& link,
+///
+/// With `pool == nullptr` and more than one resolved thread, a transient
+/// pool is spawned for the call (the pre-session behavior); passing a
+/// persistent pool reuses its long-lived workers — and their warmed
+/// thread-local solver workspaces — across batches.
+BatchResult run_ranging_batch(const SweepSource& source,
                               const RangingPipeline& pipeline,
                               const CalibrationTable& calibration,
                               std::span<const RangingRequest> requests,
                               mathx::Rng& rng,
-                              const BatchOptions& options = {});
+                              const BatchOptions& options = {},
+                              std::shared_ptr<WorkerPool> pool = nullptr);
 
 /// Thread count `run_ranging_batch` will actually use for `n_requests`
 /// under `options` (exposed so benches can report honest numbers).

@@ -1,5 +1,8 @@
 #include "core/engine.hpp"
 
+#include <algorithm>
+#include <utility>
+
 #include "core/worker_pool.hpp"
 #include "mathx/contracts.hpp"
 #include "mathx/stats.hpp"
@@ -10,12 +13,26 @@ namespace chronos::core {
 namespace {
 /// fork() tag for locate_batch's base stream ("locate" in ASCII).
 constexpr std::uint64_t kLocateBatchTag = 0x6C6F63617465ull;
+
+const std::vector<phy::WifiBand>& checked_bands(
+    const std::shared_ptr<const SweepSource>& source) {
+  CHRONOS_EXPECTS(source != nullptr, "ChronosEngine needs a sweep source");
+  return source->bands();
+}
 }  // namespace
 
 ChronosEngine::ChronosEngine(sim::Environment env, EngineConfig config)
-    : config_(config),
-      link_(std::move(env), config.link),
-      pipeline_(link_.bands(), config.ranging) {}
+    : ChronosEngine(
+          std::make_shared<SimSweepSource>(std::move(env), config.link),
+          config) {}
+
+ChronosEngine::ChronosEngine(std::shared_ptr<const SweepSource> source,
+                             EngineConfig config)
+    : config_(std::move(config)),
+      source_(std::move(source)),
+      pipeline_(std::make_shared<const RangingPipeline>(
+          checked_bands(source_), config_.ranging)),
+      calibration_(std::make_shared<const CalibrationTable>()) {}
 
 void ChronosEngine::calibrate(const sim::Device& tx, const sim::Device& rx,
                               mathx::Rng& rng) {
@@ -23,19 +40,31 @@ void ChronosEngine::calibrate(const sim::Device& tx, const sim::Device& rx,
                   "need at least one calibration sweep");
 
   // Calibration fixture: same radios, anechoic environment, known distance.
+  // Deliberately built on a local simulator regardless of the measurement
+  // backend — this is the paper's a-priori bench calibration, not a field
+  // measurement. Trace deployments with a recorded calibration install it
+  // via set_calibration() instead.
   sim::Device tx_fix = tx;
   sim::Device rx_fix = rx;
   tx_fix.antennas = {{0.0, 0.0}};
   rx_fix.antennas = {{config_.calibration_distance_m, 0.0}};
 
-  sim::LinkSimulator fixture(sim::anechoic(), config_.link);
+  sim::LinkSimConfig fixture_cfg = config_.link;
+  fixture_cfg.bands = source_->bands();
+  sim::LinkSimulator fixture(sim::anechoic(), fixture_cfg);
   std::vector<phy::SweepMeasurement> sweeps;
   sweeps.reserve(static_cast<std::size_t>(config_.calibration_sweeps));
   for (int i = 0; i < config_.calibration_sweeps; ++i) {
     sweeps.push_back(fixture.simulate_sweep(tx_fix, 0, rx_fix, 0, rng));
   }
-  calibration_ = calibrate_from_sweeps(sweeps, config_.calibration_distance_m,
-                                       config_.ranging.combining);
+  calibration_ = std::make_shared<const CalibrationTable>(
+      calibrate_from_sweeps(sweeps, config_.calibration_distance_m,
+                            config_.ranging.combining));
+}
+
+void ChronosEngine::set_calibration(CalibrationTable calibration) {
+  calibration_ =
+      std::make_shared<const CalibrationTable>(std::move(calibration));
 }
 
 RangingResult ChronosEngine::measure_distance(const sim::Device& tx,
@@ -43,15 +72,43 @@ RangingResult ChronosEngine::measure_distance(const sim::Device& tx,
                                               const sim::Device& rx,
                                               std::size_t rx_antenna,
                                               mathx::Rng& rng) const {
-  const auto sweep = link_.simulate_sweep(tx, tx_antenna, rx, rx_antenna, rng);
-  return pipeline_.estimate(sweep, calibration_);
+  const auto sweep =
+      source_->sweep_for({tx, tx_antenna, rx, rx_antenna}, rng);
+  return pipeline_->estimate(sweep, *calibration_);
+}
+
+std::shared_ptr<WorkerPool> ChronosEngine::session_pool(int threads) const {
+  const auto wanted = static_cast<std::size_t>(std::max(threads, 1));
+  std::lock_guard<std::mutex> lock(pool_mutex_);
+  if (!pool_ || pool_->size() < wanted) {
+    // Grow by replacement (WorkerPool is fixed-size by design). The old
+    // pool, if any, stays alive through the shared_ptr held by every
+    // outstanding BatchHandle, so in-flight batches drain undisturbed.
+    pool_ = std::make_shared<WorkerPool>(wanted);
+  }
+  return pool_;
+}
+
+std::size_t ChronosEngine::session_threads() const {
+  std::lock_guard<std::mutex> lock(pool_mutex_);
+  return pool_ ? pool_->size() : 0;
 }
 
 BatchResult ChronosEngine::measure_batch(
     std::span<const RangingRequest> requests, mathx::Rng& rng,
     const BatchOptions& options) const {
-  return run_ranging_batch(link_, pipeline_, calibration_, requests, rng,
-                           options);
+  const int threads = resolve_batch_threads(options, requests.size());
+  return run_ranging_batch(*source_, *pipeline_, *calibration_, requests,
+                           rng, options,
+                           threads > 1 ? session_pool(threads) : nullptr);
+}
+
+BatchHandle ChronosEngine::submit_batch(
+    std::span<const RangingRequest> requests, mathx::Rng& rng,
+    const BatchOptions& options) const {
+  const int threads = resolve_batch_threads(options, requests.size());
+  return submit_ranging_batch(session_pool(threads), source_, pipeline_,
+                              calibration_, requests, rng);
 }
 
 LocateOutcome ChronosEngine::locate(
@@ -60,7 +117,7 @@ LocateOutcome ChronosEngine::locate(
   CHRONOS_EXPECTS(rx.antennas.size() >= 2,
                   "localization needs a receiver with >= 2 antennas");
 
-  // The tx-major pair loop is now a thin client of the batched runtime:
+  // The tx-major pair loop is a thin client of the batched runtime:
   // enumerate every (tx antenna, rx antenna) pair as a RangingRequest and
   // let the pool range them.
   std::vector<RangingRequest> requests;
@@ -118,7 +175,20 @@ std::vector<LocateOutcome> ChronosEngine::locate_batch(
                   BatchOptions{1});
   };
 
-  return parallel_map(threads, requests.size(), process);
+  if (threads <= 1) {
+    std::vector<LocateOutcome> out;
+    out.reserve(requests.size());
+    for (std::size_t i = 0; i < requests.size(); ++i) out.push_back(process(i));
+    return out;
+  }
+  return parallel_map_on(*session_pool(threads), requests.size(), process);
+}
+
+const sim::LinkSimulator& ChronosEngine::link() const {
+  const auto* sim_source = dynamic_cast<const SimSweepSource*>(source_.get());
+  CHRONOS_EXPECTS(sim_source != nullptr,
+                  "link() is only available on simulator-backed engines");
+  return sim_source->link();
 }
 
 }  // namespace chronos::core

@@ -1,23 +1,35 @@
 // ChronosEngine: the highest-level public API.
 //
-// Wires the measurement substrate (sim::LinkSimulator standing in for a
-// pair of Intel 5300 cards) to the estimation pipeline, and exposes the
-// operations the paper's applications use:
+// Wires a measurement substrate (any core::SweepSource backend — the
+// channel simulator standing in for a pair of Intel 5300 cards, a recorded
+// trace, ...) to the estimation pipeline, and exposes the operations the
+// paper's applications use:
 //   * calibrate()        one-time known-distance hardware calibration (§7)
 //   * measure_distance() sub-ns ToF + distance between two antennas (§4-7)
 //   * measure_batch()    many antenna pairs ranged concurrently (batched
 //                        runtime, core/batch.hpp)
+//   * submit_batch()     same, asynchronously: returns a BatchHandle so the
+//                        caller can pipeline ingestion
 //   * locate()           device-to-device relative localization (§8)
 //   * locate_batch()     many localizations ranged concurrently
 //
 // Threading model: every const method is safe to call concurrently from
-// multiple threads (the engine holds no mutable state after construction /
-// calibration), provided each caller supplies its own mathx::Rng. The
+// multiple threads, provided each caller supplies its own mathx::Rng. The
 // batched entry points manage that internally via Rng::split, so their
 // results are bit-identical for every thread count.
+//
+// Persistent session pool: the first batched call needing parallelism
+// lazily starts an engine-owned WorkerPool that lives until the engine is
+// destroyed. Workers persist across batches, so their warmed thread-local
+// solver workspaces (core/ndft.cpp) are reused instead of being torn down
+// and re-allocated per batch; the pool grows (never shrinks) when a later
+// call asks for more threads. Pool management is internal and guarded — it
+// never affects results, only wall clock.
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <vector>
@@ -26,12 +38,15 @@
 #include "core/calibration.hpp"
 #include "core/localization.hpp"
 #include "core/ranging.hpp"
+#include "core/sweep_source.hpp"
 #include "mathx/rng.hpp"
-#include "sim/link.hpp"
 
 namespace chronos::core {
 
 struct EngineConfig {
+  /// Simulator backend configuration; only consulted by the
+  /// (Environment, EngineConfig) constructor. Engines built on an explicit
+  /// SweepSource take their band plan from the source instead.
   sim::LinkSimConfig link;
   RangingConfig ranging;
   /// Sweeps averaged during calibration.
@@ -55,40 +70,68 @@ struct LocateOutcome {
 
 class ChronosEngine {
  public:
-  /// `env` is the deployment environment for measurements; calibration
-  /// always runs in an anechoic fixture regardless (mirroring the paper's
-  /// a-priori one-time calibration).
+  /// Simulator-backed engine: `env` is the deployment environment for
+  /// measurements; calibration always runs in an anechoic fixture
+  /// regardless (mirroring the paper's a-priori one-time calibration).
+  /// Shorthand for wrapping (env, config.link) in a SimSweepSource.
   ChronosEngine(sim::Environment env, EngineConfig config = {});
+
+  /// Backend-generic engine: ranges whatever sweeps `source` yields (e.g. a
+  /// TraceSweepSource replaying recorded captures). The pipeline's band
+  /// plan comes from source->bands(); config.link is ignored. Pair with
+  /// set_calibration() when the backend has a recorded calibration.
+  explicit ChronosEngine(std::shared_ptr<const SweepSource> source,
+                         EngineConfig config = {});
 
   /// Builds and stores the calibration table for this device pair. Must be
   /// called once before measurements whenever chain effects are enabled.
+  /// Always runs on a simulated anechoic fixture (the a-priori bench
+  /// calibration of the paper) — backend-independent by construction.
   void calibrate(const sim::Device& tx, const sim::Device& rx,
                  mathx::Rng& rng);
+
+  /// Installs a pre-computed calibration table (e.g. one recorded alongside
+  /// a trace, or built offline with calibrate_from_sweeps).
+  void set_calibration(CalibrationTable calibration);
 
   /// Time-of-flight / distance between one TX antenna and one RX antenna.
   RangingResult measure_distance(const sim::Device& tx, std::size_t tx_antenna,
                                  const sim::Device& rx, std::size_t rx_antenna,
                                  mathx::Rng& rng) const;
 
-  /// Ranges every request on the worker pool. Bit-reproducible: the results
-  /// depend only on (engine, requests, rng state) — never on thread count
-  /// or scheduling. Advances `rng` by exactly one fork().
+  /// Ranges every request on the persistent session pool. Bit-reproducible:
+  /// the results depend only on (engine, requests, rng state) — never on
+  /// thread count or scheduling. Advances `rng` by exactly one fork().
+  /// `options.threads <= 1` runs inline on the calling thread; larger
+  /// values ensure the session pool has at least that many workers
+  /// (BatchResult::threads_used reports the workers actually available,
+  /// which can exceed the request if an earlier batch grew the pool).
   BatchResult measure_batch(std::span<const RangingRequest> requests,
                             mathx::Rng& rng,
                             const BatchOptions& options = {}) const;
 
+  /// Async variant: enqueues the batch on the session pool and returns a
+  /// future-style handle immediately, so callers can submit the next batch
+  /// (or do unrelated work) while this one ranges. Identical determinism
+  /// contract and rng advancement as measure_batch — submitting then
+  /// get()ing is bit-identical to the synchronous call, for any thread
+  /// count and any interleaving of outstanding handles.
+  BatchHandle submit_batch(std::span<const RangingRequest> requests,
+                           mathx::Rng& rng,
+                           const BatchOptions& options = {}) const;
+
   /// Full device-to-device localization: ranges every TX antenna against
   /// every RX antenna (tx-major, via the batched runtime) and trilaterates
-  /// in the RX's frame (absolute floor-plan coordinates, since the sim
-  /// knows antenna positions). `options` sizes the worker pool; results are
-  /// identical for every setting.
+  /// in the RX's frame (absolute floor-plan coordinates when the backend
+  /// knows antenna positions). `options` sizes the worker fan-out; results
+  /// are identical for every setting.
   LocateOutcome locate(const sim::Device& tx, const sim::Device& rx,
                        mathx::Rng& rng,
                        const std::optional<geom::Vec2>& hint = std::nullopt,
                        const BatchOptions& options = {}) const;
 
-  /// Runs many independent localizations concurrently, one worker-pool job
-  /// per request (each job's pair sweep runs inline within it). Request i
+  /// Runs many independent localizations concurrently, one pool job per
+  /// request (each job's pair sweep runs inline within it). Request i
   /// draws from its own split stream, so results are bit-identical for
   /// every thread count and equal `locate()` on that stream. Advances `rng`
   /// by exactly one fork().
@@ -96,16 +139,44 @@ class ChronosEngine {
       std::span<const LocateRequest> requests, mathx::Rng& rng,
       const BatchOptions& options = {}) const;
 
-  const CalibrationTable& calibration() const { return calibration_; }
-  const RangingPipeline& pipeline() const { return pipeline_; }
-  const sim::LinkSimulator& link() const { return link_; }
+  const CalibrationTable& calibration() const { return *calibration_; }
+  const RangingPipeline& pipeline() const { return *pipeline_; }
+
+  /// The measurement backend this engine ranges against.
+  const SweepSource& source() const { return *source_; }
+
+  /// Size of the persistent session pool (0 until a batched call first
+  /// needs parallelism). Diagnostics only — never affects results.
+  std::size_t session_threads() const;
+
+  /// The wrapped simulator — only meaningful for simulator-backed engines;
+  /// throws std::invalid_argument when the backend is not a SimSweepSource.
+  /// Deprecated: the engine is backend-generic now, so new code should use
+  /// source() (and downcast explicitly if it truly needs sim internals).
+  [[deprecated(
+      "ChronosEngine is backend-generic; use source() instead of assuming a "
+      "simulator backend")]]
+  const sim::LinkSimulator& link() const;
 
  private:
+  /// Returns the session pool, lazily started / grown to >= `threads`
+  /// workers. Thread-safe; callers receive a shared reference so a
+  /// concurrent grow can never destroy a pool under a running batch.
+  std::shared_ptr<WorkerPool> session_pool(int threads) const;
+
   EngineConfig config_;
-  sim::LinkSimulator link_;
-  RangingPipeline pipeline_;
-  CalibrationTable calibration_;
+  std::shared_ptr<const SweepSource> source_;
+  // Pipeline and calibration live behind shared_ptrs so async batches
+  // (BatchHandle payloads) can co-own them: a handle stays collectable
+  // even after the engine is gone, and a calibrate()/set_calibration()
+  // while batches are in flight swaps the table without pulling it out
+  // from under them.
+  std::shared_ptr<const RangingPipeline> pipeline_;
+  std::shared_ptr<const CalibrationTable> calibration_;
   LocalizerOptions localizer_;
+
+  mutable std::mutex pool_mutex_;
+  mutable std::shared_ptr<WorkerPool> pool_;
 };
 
 }  // namespace chronos::core

@@ -1,0 +1,105 @@
+#include "core/sweep_source.hpp"
+
+#include <utility>
+
+#include "mathx/contracts.hpp"
+#include "phy/csi_io.hpp"
+
+namespace chronos::core {
+
+namespace {
+
+/// The band sequence a sweep covers, in sweep order. Assumes a validated
+/// sweep (>= 1 capture per band).
+std::vector<phy::WifiBand> bands_of(const phy::SweepMeasurement& sweep) {
+  std::vector<phy::WifiBand> bands;
+  bands.reserve(sweep.bands.size());
+  for (const auto& captures : sweep.bands) {
+    bands.push_back(captures.front().forward.band);
+  }
+  return bands;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- simulator
+
+SimSweepSource::SimSweepSource(sim::Environment env, sim::LinkSimConfig config)
+    : link_(std::move(env), std::move(config)) {}
+
+SimSweepSource::SimSweepSource(sim::LinkSimulator link)
+    : link_(std::move(link)) {}
+
+phy::SweepMeasurement SimSweepSource::sweep_for(const RangingRequest& req,
+                                                mathx::Rng& rng) const {
+  return link_.simulate_sweep(req.tx, req.tx_antenna, req.rx, req.rx_antenna,
+                              rng);
+}
+
+const std::vector<phy::WifiBand>& SimSweepSource::bands() const {
+  return link_.bands();
+}
+
+// -------------------------------------------------------------------- trace
+
+TraceKey TraceKey::of(const RangingRequest& req) {
+  return {req.tx.hardware_seed, req.tx_antenna, req.rx.hardware_seed,
+          req.rx_antenna};
+}
+
+void TraceSweepSource::add_sweep(const TraceKey& key,
+                                 phy::SweepMeasurement sweep) {
+  phy::validate(sweep);
+  auto sweep_bands = bands_of(sweep);
+  if (bands_.empty()) {
+    bands_ = std::move(sweep_bands);
+  } else {
+    CHRONOS_EXPECTS(sweep_bands.size() == bands_.size(),
+                    "trace sweep band count disagrees with the recorded plan");
+    for (std::size_t i = 0; i < bands_.size(); ++i) {
+      // Full band identity, not just the channel number: a converter with a
+      // wrong frequency map must be rejected here, not produce a silently
+      // wrong phase-to-delay mapping downstream.
+      CHRONOS_EXPECTS(sweep_bands[i].channel == bands_[i].channel &&
+                          sweep_bands[i].center_freq_hz ==
+                              bands_[i].center_freq_hz &&
+                          sweep_bands[i].group == bands_[i].group,
+                      "trace sweep band sequence disagrees with the recorded "
+                      "plan");
+    }
+  }
+  sweeps_[key].push_back(std::move(sweep));
+}
+
+void TraceSweepSource::add_sweep_file(const TraceKey& key,
+                                      const std::string& path) {
+  add_sweep(key, phy::load_sweep(path));
+}
+
+phy::SweepMeasurement TraceSweepSource::sweep_for(const RangingRequest& req,
+                                                  mathx::Rng& rng) const {
+  const auto it = sweeps_.find(TraceKey::of(req));
+  CHRONOS_EXPECTS(it != sweeps_.end(),
+                  "no recorded sweep for this (tx, rx, antenna pair) key");
+  const auto& recorded = it->second;
+  if (recorded.size() == 1) return recorded.front();
+  // Repeated measurements of one link: pick deterministically from the
+  // request's stream (uniform over the recorded repetitions).
+  const int idx =
+      rng.uniform_int(0, static_cast<int>(recorded.size()) - 1);
+  return recorded[static_cast<std::size_t>(idx)];
+}
+
+const std::vector<phy::WifiBand>& TraceSweepSource::bands() const {
+  CHRONOS_EXPECTS(!bands_.empty(),
+                  "TraceSweepSource has no recorded sweeps yet");
+  return bands_;
+}
+
+std::size_t TraceSweepSource::sweep_count() const {
+  std::size_t n = 0;
+  for (const auto& [key, recorded] : sweeps_) n += recorded.size();
+  return n;
+}
+
+}  // namespace chronos::core

@@ -1,0 +1,148 @@
+// The measurement substrate behind the ranging runtime.
+//
+// The estimation pipeline only ever consumes phy::SweepMeasurement; where a
+// sweep comes from — a channel simulator standing in for two Intel 5300
+// cards, a recorded trace captured with the Linux 802.11n CSI Tool, or some
+// future live-capture transport — is a backend detail. `SweepSource` is that
+// seam: a const-thread-safe interface that yields the calibrated per-band
+// sweep for one RangingRequest, with all randomness drawn from the caller's
+// rng so the batched runtime's determinism contract (core/batch.hpp) holds
+// for every backend.
+//
+// Two concrete backends ship here:
+//   * SimSweepSource    wraps sim::LinkSimulator — bit-identical to calling
+//                       the simulator directly (the pre-seam behavior);
+//   * TraceSweepSource  replays recorded phy::csi_io sweeps keyed by
+//                       (tx device, tx antenna, rx device, rx antenna),
+//                       which makes recorded-trace end-to-end ranging a
+//                       first-class workload.
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "mathx/rng.hpp"
+#include "phy/csi.hpp"
+#include "sim/link.hpp"
+
+namespace chronos::core {
+
+/// One unit of ranging work: which antenna of which device ranges against
+/// which antenna of which other device. `sim::Device` doubles as the
+/// backend-neutral device description (antenna layout + radio personality +
+/// `hardware_seed` identity); trace backends key on the identity, simulator
+/// backends consume the full description.
+struct RangingRequest {
+  sim::Device tx;
+  std::size_t tx_antenna = 0;
+  sim::Device rx;
+  std::size_t rx_antenna = 0;
+};
+
+/// Backend interface: produces the multi-band sweep a request would measure.
+///
+/// Contract (what the batched runtime and ChronosEngine rely on):
+///   * `sweep_for` is safe to call concurrently on one const instance —
+///     implementations hold no hidden mutable state and draw randomness
+///     exclusively from the caller-supplied `rng`;
+///   * the result is a pure function of (source, request, rng state), so
+///     worker scheduling can never change a bit of any RangingResult;
+///   * `bands()` lists the bands every produced sweep covers, in sweep
+///     order — exactly what RangingPipeline construction needs.
+class SweepSource {
+ public:
+  virtual ~SweepSource() = default;
+
+  /// The calibrated per-band sweep for `req`. Throws std::invalid_argument
+  /// when the request cannot be served (unknown antenna, unrecorded trace
+  /// key, ...); the batched runtime rethrows from the submitting caller.
+  virtual phy::SweepMeasurement sweep_for(const RangingRequest& req,
+                                          mathx::Rng& rng) const = 0;
+
+  /// Bands every sweep from this source covers, in sweep order.
+  virtual const std::vector<phy::WifiBand>& bands() const = 0;
+
+  /// Stable human-readable backend identifier ("sim", "trace", ...), for
+  /// diagnostics and logs.
+  virtual std::string backend_name() const = 0;
+};
+
+/// The simulator backend: forwards every request to
+/// sim::LinkSimulator::simulate_sweep. Bit-identical to the pre-seam
+/// engine path (the fig7a/8b/8c goldens pin this).
+class SimSweepSource final : public SweepSource {
+ public:
+  SimSweepSource(sim::Environment env, sim::LinkSimConfig config);
+  explicit SimSweepSource(sim::LinkSimulator link);
+
+  phy::SweepMeasurement sweep_for(const RangingRequest& req,
+                                  mathx::Rng& rng) const override;
+  const std::vector<phy::WifiBand>& bands() const override;
+  std::string backend_name() const override { return "sim"; }
+
+  /// The wrapped simulator (simulator-specific extras: ground-truth paths,
+  /// environment access).
+  const sim::LinkSimulator& link() const { return link_; }
+
+ private:
+  sim::LinkSimulator link_;
+};
+
+/// Identity of one recorded antenna-pair link. Devices are identified by
+/// their `hardware_seed` — the same stable id that gives a simulated device
+/// its chain personality, and the natural label for a capture session.
+struct TraceKey {
+  std::uint64_t tx_device = 0;
+  std::size_t tx_antenna = 0;
+  std::uint64_t rx_device = 0;
+  std::size_t rx_antenna = 0;
+
+  friend auto operator<=>(const TraceKey&, const TraceKey&) = default;
+
+  /// The key a RangingRequest resolves to.
+  static TraceKey of(const RangingRequest& req);
+};
+
+/// Replay backend: serves recorded sweeps (phy::csi_io format) instead of
+/// simulating. Populate it with `add_sweep` / `add_sweep_file`, then range
+/// through the identical pipeline — the estimator cannot tell a replayed
+/// trace from a live simulation.
+///
+/// Band structure is established by the first recorded sweep and enforced
+/// on every later one (all sweeps of a deployment share the band plan).
+/// When several sweeps are recorded under one key (repeated measurements of
+/// the same link), `sweep_for` picks one uniformly from the caller's rng —
+/// still a pure function of (source, request, rng state), so the
+/// determinism contract survives replay with repetition.
+class TraceSweepSource final : public SweepSource {
+ public:
+  TraceSweepSource() = default;
+
+  /// Records `sweep` under `key`. Throws std::invalid_argument when the
+  /// sweep is structurally invalid or its bands disagree with the bands
+  /// established by the first recorded sweep.
+  void add_sweep(const TraceKey& key, phy::SweepMeasurement sweep);
+
+  /// Loads a phy::csi_io trace file and records it under `key`.
+  void add_sweep_file(const TraceKey& key, const std::string& path);
+
+  phy::SweepMeasurement sweep_for(const RangingRequest& req,
+                                  mathx::Rng& rng) const override;
+  const std::vector<phy::WifiBand>& bands() const override;
+  std::string backend_name() const override { return "trace"; }
+
+  /// Recorded links / total recorded sweeps (diagnostics).
+  std::size_t key_count() const { return sweeps_.size(); }
+  std::size_t sweep_count() const;
+  bool has_key(const TraceKey& key) const { return sweeps_.contains(key); }
+
+ private:
+  std::map<TraceKey, std::vector<phy::SweepMeasurement>> sweeps_;
+  std::vector<phy::WifiBand> bands_;
+};
+
+}  // namespace chronos::core

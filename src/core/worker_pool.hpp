@@ -12,6 +12,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <future>
 #include <memory>
@@ -66,31 +67,53 @@ class WorkerPool {
   bool stopping_ = false;
 };
 
-/// Maps `fn(i)` over i in [0, n), returning results in index order.
-/// `threads <= 1` runs inline on the caller (no pool); otherwise a
-/// fixed-size pool fans the calls out and the first exception (by index)
-/// is rethrown after the pool drains, so no job outlives fn's captures.
-/// The shared dispatch scaffolding of the batched runtime entry points
-/// (core/batch.cpp, ChronosEngine::locate_batch).
+/// Maps `fn(i)` over i in [0, n) on an existing (persistent) pool,
+/// returning results in index order. Every call blocks until its own jobs
+/// finish; the first exception (by index) is rethrown after they drain, so
+/// no job outlives fn's captures. Reusing one long-lived pool across calls
+/// keeps the workers' warmed thread-local state (e.g. NdftWorkspace) —
+/// the dispatch scaffolding of the persistent engine session
+/// (ChronosEngine::locate_batch, core/batch.cpp).
+template <typename Fn>
+auto parallel_map_on(WorkerPool& pool, std::size_t n, Fn fn)
+    -> std::vector<std::invoke_result_t<Fn&, std::size_t>> {
+  using R = std::invoke_result_t<Fn&, std::size_t>;
+  std::vector<R> out(n);
+  std::vector<std::future<R>> futures;
+  futures.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    futures.push_back(pool.submit([&fn, i]() { return fn(i); }));
+  }
+  // Drain EVERY future before rethrowing: on a persistent pool there is no
+  // scope-exit join, so leaving jobs queued past this frame would let them
+  // touch fn's captures after the caller unwound.
+  std::exception_ptr first_error;
+  for (std::size_t i = 0; i < n; ++i) {
+    try {
+      out[i] = futures[i].get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+  return out;
+}
+
+/// Convenience variant owning a transient pool: `threads <= 1` runs inline
+/// on the caller (no pool); otherwise a fixed-size pool is spawned for this
+/// call and joined before returning. Library users without a persistent
+/// session reach for this; the engine session path uses parallel_map_on.
 template <typename Fn>
 auto parallel_map(int threads, std::size_t n, Fn fn)
     -> std::vector<std::invoke_result_t<Fn&, std::size_t>> {
   using R = std::invoke_result_t<Fn&, std::size_t>;
-  std::vector<R> out(n);
   if (threads <= 1) {
+    std::vector<R> out(n);
     for (std::size_t i = 0; i < n; ++i) out[i] = fn(i);
     return out;
   }
-  std::vector<std::future<R>> futures;
-  futures.reserve(n);
-  {
-    WorkerPool pool(static_cast<std::size_t>(threads));
-    for (std::size_t i = 0; i < n; ++i) {
-      futures.push_back(pool.submit([&fn, i]() { return fn(i); }));
-    }
-    for (std::size_t i = 0; i < n; ++i) out[i] = futures[i].get();
-  }
-  return out;
+  WorkerPool pool(static_cast<std::size_t>(threads));
+  return parallel_map_on(pool, n, std::move(fn));
 }
 
 }  // namespace chronos::core

@@ -74,7 +74,7 @@ TEST(BatchDeterminism, ThreadCountNeverChangesResults) {
           eng.measure_batch(requests, rng_seq, BatchOptions{1});
       EXPECT_EQ(sequential.threads_used, 1);
 
-      for (const int threads : {2, 8}) {
+      for (const int threads : {2, 4, 8}) {
         mathx::Rng rng_par(seed);
         const auto parallel =
             eng.measure_batch(requests, rng_par, BatchOptions{threads});
@@ -134,6 +134,141 @@ TEST(BatchDeterminism, JobExceptionsPropagateToCaller) {
   mathx::Rng rng(1);
   EXPECT_THROW((void)eng.measure_batch(requests, rng, BatchOptions{4}),
                std::invalid_argument);
+}
+
+TEST(BatchSession, SubmitGetMatchesSynchronousMeasureBatch) {
+  // The async path (submit_batch -> BatchHandle::get) must be bit-identical
+  // to the synchronous call on the same seed — including how far it
+  // advances the caller's rng.
+  const ChronosEngine eng(sim::office_20x20(), fast_config());
+  const auto requests = make_requests(8);
+
+  mathx::Rng rng_sync(77);
+  const auto sync = eng.measure_batch(requests, rng_sync, BatchOptions{1});
+
+  mathx::Rng rng_async(77);
+  auto handle = eng.submit_batch(requests, rng_async, BatchOptions{4});
+  EXPECT_TRUE(handle.valid());
+  EXPECT_EQ(handle.size(), requests.size());
+  const auto async = handle.get();
+  EXPECT_FALSE(handle.valid());
+
+  ASSERT_EQ(async.results.size(), sync.results.size());
+  for (std::size_t i = 0; i < async.results.size(); ++i) {
+    expect_bitwise_equal(async.results[i], sync.results[i]);
+  }
+  EXPECT_EQ(rng_sync.uniform(0.0, 1.0), rng_async.uniform(0.0, 1.0));
+}
+
+TEST(BatchSession, OutstandingHandlesCollectInAnyOrder) {
+  // Pipelined ingestion: several batches in flight at once, collected in
+  // reverse submission order, each bit-identical to its sequential
+  // reference. The handles all share the engine's persistent pool.
+  const ChronosEngine eng(sim::office_20x20(), fast_config());
+  constexpr std::size_t kBatches = 3;
+
+  std::vector<std::vector<RangingRequest>> requests;
+  std::vector<BatchResult> reference;
+  for (std::size_t b = 0; b < kBatches; ++b) {
+    requests.push_back(make_requests(3 + b));
+    mathx::Rng rng(1000 + b);
+    reference.push_back(
+        eng.measure_batch(requests[b], rng, BatchOptions{1}));
+  }
+
+  std::vector<BatchHandle> handles;
+  for (std::size_t b = 0; b < kBatches; ++b) {
+    mathx::Rng rng(1000 + b);
+    handles.push_back(eng.submit_batch(requests[b], rng, BatchOptions{2}));
+  }
+  for (std::size_t b = kBatches; b-- > 0;) {
+    const auto out = handles[b].get();
+    ASSERT_EQ(out.results.size(), reference[b].results.size());
+    for (std::size_t i = 0; i < out.results.size(); ++i) {
+      expect_bitwise_equal(out.results[i], reference[b].results[i]);
+    }
+  }
+}
+
+TEST(BatchSession, PersistentPoolStartsLazilyAndNeverShrinks) {
+  const ChronosEngine eng(sim::office_20x20(), fast_config());
+  EXPECT_EQ(eng.session_threads(), 0u);  // nothing batched yet
+
+  const auto requests = make_requests(6);
+  mathx::Rng rng(3);
+  (void)eng.measure_batch(requests, rng, BatchOptions{1});
+  EXPECT_EQ(eng.session_threads(), 0u);  // inline path never starts a pool
+
+  (void)eng.measure_batch(requests, rng, BatchOptions{3});
+  EXPECT_EQ(eng.session_threads(), 3u);
+
+  (void)eng.measure_batch(requests, rng, BatchOptions{2});
+  EXPECT_EQ(eng.session_threads(), 3u);  // smaller request reuses workers
+
+  (void)eng.measure_batch(requests, rng, BatchOptions{5});
+  EXPECT_EQ(eng.session_threads(), 5u);  // growth by replacement
+}
+
+TEST(BatchSession, HandleWaitAndReadyObserveCompletion) {
+  const ChronosEngine eng(sim::office_20x20(), fast_config());
+  const auto requests = make_requests(4);
+  mathx::Rng rng(21);
+  auto handle = eng.submit_batch(requests, rng, BatchOptions{2});
+  handle.wait();
+  EXPECT_TRUE(handle.ready());
+  const auto out = handle.get();
+  EXPECT_EQ(out.results.size(), requests.size());
+  EXPECT_GE(out.threads_used, 1);
+}
+
+TEST(BatchSession, DroppedHandleIsSafe) {
+  // Destroying a handle without get() must not crash, deadlock, or disturb
+  // later batches (jobs finish against the shared pool and are dropped).
+  const ChronosEngine eng(sim::office_20x20(), fast_config());
+  const auto requests = make_requests(5);
+  {
+    mathx::Rng rng(33);
+    auto handle = eng.submit_batch(requests, rng, BatchOptions{2});
+    (void)handle;
+  }
+  mathx::Rng rng_seq(34);
+  const auto sequential = eng.measure_batch(requests, rng_seq, BatchOptions{1});
+  mathx::Rng rng_par(34);
+  const auto parallel = eng.measure_batch(requests, rng_par, BatchOptions{4});
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    expect_bitwise_equal(parallel.results[i], sequential.results[i]);
+  }
+}
+
+TEST(BatchSession, HandleOutlivesEngine) {
+  // Handles are self-contained: they co-own the pool, source, pipeline,
+  // and calibration, so collecting after the engine died is legal and
+  // bit-identical.
+  const auto requests = make_requests(4);
+  BatchHandle handle;
+  BatchResult reference;
+  {
+    const ChronosEngine eng(sim::office_20x20(), fast_config());
+    mathx::Rng rng_ref(55);
+    reference = eng.measure_batch(requests, rng_ref, BatchOptions{1});
+    mathx::Rng rng(55);
+    handle = eng.submit_batch(requests, rng, BatchOptions{2});
+  }  // engine destroyed while the batch may still be in flight
+  const auto out = handle.get();
+  ASSERT_EQ(out.results.size(), reference.results.size());
+  for (std::size_t i = 0; i < out.results.size(); ++i) {
+    expect_bitwise_equal(out.results[i], reference.results[i]);
+  }
+}
+
+TEST(BatchSession, AsyncExceptionsSurfaceAtGet) {
+  const ChronosEngine eng(sim::anechoic(), fast_config());
+  std::vector<RangingRequest> requests = make_requests(3);
+  requests[1].tx_antenna = 99;  // out of range -> throws inside the job
+  mathx::Rng rng(1);
+  auto handle = eng.submit_batch(requests, rng, BatchOptions{2});
+  EXPECT_THROW((void)handle.get(), std::invalid_argument);
+  EXPECT_FALSE(handle.valid());
 }
 
 TEST(BatchDeterminism, LocateBatchIsThreadCountInvariant) {
