@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include <memory>
+
 #include "core/engine.hpp"
 #include "mathx/constants.hpp"
 #include "sim/scenario.hpp"
@@ -17,24 +19,32 @@ int main() {
 
   const auto scen = sim::office_testbed(42);
   core::EngineConfig ec;
-  core::ChronosEngine eng(scen.environment(), ec);
+  auto src = std::make_shared<core::SimSweepSource>(scen.environment(),
+                                                    ec.link);
+  core::ChronosEngine eng(src, ec);
   mathx::Rng rng(99);
-  eng.calibrate(sim::make_mobile({0.0, 0.0}, 11),
-                sim::make_mobile({1.0, 0.0}, 22), rng);
+  src->add_node(NodeId{9001}, sim::make_mobile({0.0, 0.0}, 11));
+  src->add_node(NodeId{9002}, sim::make_mobile({1.0, 0.0}, 22));
+  if (!eng.calibrate(NodeId{9001}, NodeId{9002}, rng).ok()) return 1;
 
   // Sample every placement first, then range them in one batch: identical
   // statistics, but the sweeps run concurrently on the batched runtime
   // (results are bit-reproducible for any thread count).
   constexpr int kTrials = 60;
-  std::vector<core::RangingRequest> requests;
+  std::vector<RangingRequest> requests;
   std::vector<double> truth_tof_s;
   std::vector<bool> is_los;
+  std::uint64_t next_id = 1000;
   for (int i = 0; i < kTrials; ++i) {
     for (int los = 0; los < 2; ++los) {
       const auto pl = los ? scen.sample_pair_los(rng, 1.0, 15.0)
                           : scen.sample_pair_nlos(rng, 1.0, 15.0);
-      requests.push_back(
-          {sim::make_mobile(pl.tx, 11), 0, sim::make_mobile(pl.rx, 22), 0});
+      // Same two physical cards (personality seeds 11 / 22) at this
+      // placement, registered under per-placement ids.
+      const NodeId tx_id{next_id++}, rx_id{next_id++};
+      src->add_node(tx_id, sim::make_mobile(pl.tx, 11));
+      src->add_node(rx_id, sim::make_mobile(pl.rx, 22));
+      requests.push_back({{tx_id, 0}, {rx_id, 0}});
       truth_tof_s.push_back(mathx::distance_to_tof(pl.distance()));
       is_los.push_back(los == 1);
     }

@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include <memory>
+
 #include "core/engine.hpp"
 #include "core/profile.hpp"
 #include "sim/scenario.hpp"
@@ -17,17 +19,26 @@ int main() {
 
   const auto scen = sim::office_testbed(42);
   core::EngineConfig ec;
-  core::ChronosEngine eng(scen.environment(), ec);
+  auto src = std::make_shared<core::SimSweepSource>(scen.environment(),
+                                                    ec.link);
+  core::ChronosEngine eng(src, ec);
   mathx::Rng rng(7);
-  eng.calibrate(sim::make_mobile({0.0, 0.0}, 11),
-                sim::make_mobile({1.0, 0.0}, 22), rng);
+  src->add_node(NodeId{9001}, sim::make_mobile({0.0, 0.0}, 11));
+  src->add_node(NodeId{9002}, sim::make_mobile({1.0, 0.0}, 22));
+  if (!eng.calibrate(NodeId{9001}, NodeId{9002}, rng).ok()) return 1;
 
   // Representative profiles: one LOS, one NLOS link.
+  std::uint64_t next_id = 1000;
+  auto measure_pair = [&](const sim::Placement& pl) {
+    const NodeId tx_id{next_id++}, rx_id{next_id++};
+    src->add_node(tx_id, sim::make_mobile(pl.tx, 11));
+    src->add_node(rx_id, sim::make_mobile(pl.rx, 22));
+    return eng.measure({{tx_id, 0}, {rx_id, 0}}, rng).value();
+  };
   for (int los = 1; los >= 0; --los) {
     const auto pl = los ? scen.sample_pair_los(rng, 3.0, 8.0)
                         : scen.sample_pair_nlos(rng, 3.0, 8.0);
-    const auto r = eng.measure_distance(sim::make_mobile(pl.tx, 11), 0,
-                                        sim::make_mobile(pl.rx, 22), 0, rng);
+    const auto r = measure_pair(pl);
     std::printf("  representative %s profile (true 2*tof = %.2f ns):\n",
                 los ? "LOS" : "NLOS", 2e9 * pl.distance() / 299792458.0);
     std::printf("    %-12s %-10s\n", "u (ns)", "amplitude");
@@ -40,8 +51,7 @@ int main() {
   std::vector<double> peak_counts;
   for (int i = 0; i < 40; ++i) {
     const auto pl = scen.sample_pair_nlos(rng, 1.0, 15.0);
-    const auto r = eng.measure_distance(sim::make_mobile(pl.tx, 11), 0,
-                                        sim::make_mobile(pl.rx, 22), 0, rng);
+    const auto r = measure_pair(pl);
     peak_counts.push_back(
         static_cast<double>(core::dominant_peak_count(r.profile, 0.2)));
   }

@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include <memory>
+
 #include "core/engine.hpp"
 #include "mathx/constants.hpp"
 #include "sim/scenario.hpp"
@@ -16,18 +18,24 @@ int main() {
 
   const auto scen = sim::office_testbed(42);
   core::EngineConfig ec;
-  core::ChronosEngine eng(scen.environment(), ec);
+  auto src = std::make_shared<core::SimSweepSource>(scen.environment(),
+                                                    ec.link);
+  core::ChronosEngine eng(src, ec);
   mathx::Rng rng(31);
-  eng.calibrate(sim::make_mobile({0.0, 0.0}, 11),
-                sim::make_mobile({1.0, 0.0}, 22), rng);
+  src->add_node(NodeId{9001}, sim::make_mobile({0.0, 0.0}, 11));
+  src->add_node(NodeId{9002}, sim::make_mobile({1.0, 0.0}, 22));
+  if (!eng.calibrate(NodeId{9001}, NodeId{9002}, rng).ok()) return 1;
 
   // Per-packet detection delays come from the ToA slope of each measured
   // sweep minus the recovered ToF (exactly how the paper computes them).
   std::vector<double> detection_ns, propagation_ns;
   for (int i = 0; i < 60; ++i) {
     const auto pl = scen.sample_pair(rng, 1.0, 15.0);
-    const auto r = eng.measure_distance(sim::make_mobile(pl.tx, 11), 0,
-                                        sim::make_mobile(pl.rx, 22), 0, rng);
+    const NodeId tx_id{1000 + 2 * static_cast<std::uint64_t>(i)};
+    const NodeId rx_id{1001 + 2 * static_cast<std::uint64_t>(i)};
+    src->add_node(tx_id, sim::make_mobile(pl.tx, 11));
+    src->add_node(rx_id, sim::make_mobile(pl.rx, 22));
+    const auto r = eng.measure({{tx_id, 0}, {rx_id, 0}}, rng).value();
     if (!r.peak_found) continue;
     detection_ns.push_back(r.detection_delay_s * 1e9);
     propagation_ns.push_back(mathx::distance_to_tof(pl.distance()) * 1e9);

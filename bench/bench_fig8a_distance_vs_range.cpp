@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include <memory>
+
 #include "core/engine.hpp"
 #include "sim/scenario.hpp"
 
@@ -16,10 +18,13 @@ int main() {
 
   const auto scen = sim::office_testbed(42);
   core::EngineConfig ec;
-  core::ChronosEngine eng(scen.environment(), ec);
+  auto src = std::make_shared<core::SimSweepSource>(scen.environment(),
+                                                    ec.link);
+  core::ChronosEngine eng(src, ec);
   mathx::Rng rng(17);
-  eng.calibrate(sim::make_mobile({0.0, 0.0}, 11),
-                sim::make_mobile({1.0, 0.0}, 22), rng);
+  src->add_node(NodeId{9001}, sim::make_mobile({0.0, 0.0}, 11));
+  src->add_node(NodeId{9002}, sim::make_mobile({1.0, 0.0}, 22));
+  if (!eng.calibrate(NodeId{9001}, NodeId{9002}, rng).ok()) return 1;
 
   const double edges[] = {1.0, 2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 15.0};
   constexpr int kPerBucket = 14;
@@ -28,6 +33,7 @@ int main() {
               "stddev (m)", "time (ns)");
   std::vector<double> all_errors;
   std::vector<std::pair<std::string, double>> metrics;
+  std::uint64_t next_id = 1000;
   for (std::size_t b = 0; b + 1 < std::size(edges); ++b) {
     std::vector<double> errors;
     for (int i = 0; i < kPerBucket; ++i) {
@@ -40,8 +46,10 @@ int main() {
       } catch (const std::invalid_argument&) {
         pl = scen.sample_pair(rng, edges[b], edges[b + 1]);
       }
-      const auto r = eng.measure_distance(sim::make_mobile(pl.tx, 11), 0,
-                                          sim::make_mobile(pl.rx, 22), 0, rng);
+      const NodeId tx_id{next_id++}, rx_id{next_id++};
+      src->add_node(tx_id, sim::make_mobile(pl.tx, 11));
+      src->add_node(rx_id, sim::make_mobile(pl.rx, 22));
+      const auto r = eng.measure({{tx_id, 0}, {rx_id, 0}}, rng).value();
       errors.push_back(std::abs(r.distance_m - pl.distance()));
     }
     const double med = mathx::median(errors);

@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include <memory>
+
 #include "core/engine.hpp"
 #include "sim/scenario.hpp"
 
@@ -15,23 +17,29 @@ int main() {
 
   const auto scen = sim::office_testbed(42);
   core::EngineConfig ec;
-  core::ChronosEngine eng(scen.environment(), ec);
+  auto src = std::make_shared<core::SimSweepSource>(scen.environment(),
+                                                    ec.link);
+  core::ChronosEngine eng(src, ec);
   mathx::Rng rng(23);
-  eng.calibrate(sim::make_laptop({0.0, 0.0}, 0.3, 11),
-                sim::make_laptop({1.5, 0.0}, 0.3, 22), rng);
+  src->add_node(NodeId{9001}, sim::make_laptop({0.0, 0.0}, 0.3, 11));
+  src->add_node(NodeId{9002}, sim::make_laptop({1.5, 0.0}, 0.3, 22));
+  if (!eng.calibrate(NodeId{9001}, NodeId{9002}, rng).ok()) return 1;
 
   // Placements are sampled sequentially, then every localization runs as
   // one job on the batched runtime (bit-reproducible for any thread count).
   constexpr int kTrials = 15;
-  std::vector<core::LocateRequest> jobs;
+  std::vector<LocateRequest> jobs;
   std::vector<geom::Vec2> truths;
   std::vector<bool> is_los;
+  std::uint64_t next_id = 1000;
   for (int i = 0; i < kTrials; ++i) {
     for (int los = 0; los < 2; ++los) {
       const auto pl = los ? scen.sample_pair_los(rng, 1.0, 15.0)
                           : scen.sample_pair_nlos(rng, 1.0, 15.0);
-      jobs.push_back({sim::make_laptop(pl.tx, 0.3, 11),
-                      sim::make_laptop(pl.rx, 0.3, 22), std::nullopt});
+      const NodeId tx_id{next_id++}, rx_id{next_id++};
+      src->add_node(tx_id, sim::make_laptop(pl.tx, 0.3, 11));
+      src->add_node(rx_id, sim::make_laptop(pl.rx, 0.3, 22));
+      jobs.push_back({tx_id, rx_id, std::nullopt});
       truths.push_back(pl.tx);
       is_los.push_back(los == 1);
     }

@@ -1,11 +1,20 @@
 // Ranging throughput of the batched engine runtime: ranges/sec for one
 // fixed request mix at 1/2/4/8 worker threads, an async-ingestion run with
-// pipelined submit_batch handles, plus the scaling curve and a determinism
-// cross-check (every configuration must reproduce the 1-thread results
-// bit-for-bit). The engine session grows by replacement (2 -> 4 -> 8), so
-// each sized step starts on fresh workers; the warm-persistent-worker
-// payoff shows in the async section, which reuses the fully-grown pool
-// across all pipelined batches.
+// pipelined submit_batch handles, a sustained bounded-queue backpressure
+// run (RangingSession::try_submit at queue depths 1/8/64), plus the
+// scaling curve and a determinism cross-check (every configuration must
+// reproduce the 1-thread results bit-for-bit). The engine session grows by
+// replacement (2 -> 4 -> 8), so each sized step starts on fresh workers;
+// the warm-persistent-worker payoff shows in the async section, which
+// reuses the fully-grown pool across all pipelined batches.
+//
+// The backpressure section is the scoreboard for the v2 flow-control
+// story: a producer that outruns the workers sees kQueueFull (never a
+// block, never a silent drop) and the accepted-vs-rejected split
+// quantifies how much queue depth buys at a given worker count. On this
+// 1-CPU container the producer massively outruns the single effective
+// worker, so reject ratios are high by design; the *shape* across depths
+// is the signal.
 //
 // The paper budgets ~80 ms per ToF estimate on one Intel 5300 pair; the
 // ROADMAP's north star is millions of device pairs, which is a throughput
@@ -14,6 +23,8 @@
 // workload is embarrassingly parallel and scales to min(N, 8) here.
 #include <chrono>
 #include <cstdio>
+#include <memory>
+#include <thread>
 #include <vector>
 
 #include "bench_util.hpp"
@@ -26,19 +37,25 @@ int main() {
 
   const auto scen = sim::office_testbed(42);
   core::EngineConfig ec;
-  core::ChronosEngine eng(scen.environment(), ec);
+  auto src = std::make_shared<core::SimSweepSource>(scen.environment(),
+                                                    ec.link);
+  core::ChronosEngine eng(src, ec);
   mathx::Rng rng(7);
-  eng.calibrate(sim::make_mobile({0.0, 0.0}, 11),
-                sim::make_mobile({1.0, 0.0}, 22), rng);
+  src->add_node(NodeId{9001}, sim::make_mobile({0.0, 0.0}, 11));
+  src->add_node(NodeId{9002}, sim::make_mobile({1.0, 0.0}, 22));
+  if (!eng.calibrate(NodeId{9001}, NodeId{9002}, rng).ok()) return 1;
 
   // One fixed batch of device pairs across the office floor (the same mix
-  // for every thread count, so the comparison is apples-to-apples).
+  // for every thread count, so the comparison is apples-to-apples). Two
+  // physical cards (personalities 11 / 22), one node id per placement.
   constexpr int kRequests = 40;
-  std::vector<core::RangingRequest> requests;
-  for (int i = 0; i < kRequests; ++i) {
+  std::vector<RangingRequest> requests;
+  for (std::uint64_t i = 0; i < kRequests; ++i) {
     const auto pl = scen.sample_pair(rng, 1.0, 15.0);
-    requests.push_back({sim::make_mobile(pl.tx, 11), 0,
-                        sim::make_mobile(pl.rx, 22), 0});
+    const NodeId tx_id{1000 + i}, rx_id{2000 + i};
+    src->add_node(tx_id, sim::make_mobile(pl.tx, 11));
+    src->add_node(rx_id, sim::make_mobile(pl.rx, 22));
+    requests.push_back({{tx_id, 0}, {rx_id, 0}});
   }
 
   std::printf("  %-8s %-12s %-12s %-10s\n", "threads", "wall [s]",
@@ -52,7 +69,7 @@ int main() {
     // batch determinism contract; only the wall clock may move.
     mathx::Rng batch_rng(kBatchSeed);
     const auto batch =
-        eng.measure_batch(requests, batch_rng, core::BatchOptions{threads});
+        eng.measure_batch(requests, batch_rng, BatchOptions{threads});
     const double rate =
         static_cast<double>(requests.size()) / batch.wall_time_s;
     if (threads == 1) {
@@ -82,7 +99,7 @@ int main() {
   for (int b = 0; b < kPipelined; ++b) {
     mathx::Rng batch_rng(kBatchSeed);
     handles.push_back(
-        eng.submit_batch(requests, batch_rng, core::BatchOptions{4}));
+        eng.submit_batch(requests, batch_rng, BatchOptions{4}));
   }
   for (auto& handle : handles) {
     const auto out = handle.get();
@@ -101,17 +118,76 @@ int main() {
               "%zu-worker session)\n",
               async_wall, rate_async, kPipelined, eng.session_threads());
 
+  // Bounded-queue backpressure: a sustained try_submit producer that
+  // cycles the request mix until kAccepted ranges are admitted, collecting
+  // results only when the queue pushes back. try_submit never blocks —
+  // every queue-full is an explicit kQueueFull status.
+  std::printf("\n  backpressure (try_submit producer, %d accepted ranges "
+              "per depth)\n", 3 * kRequests);
+  std::printf("  %-8s %-10s %-10s %-14s %-12s\n", "depth", "accepted",
+              "rejected", "reject ratio", "ranges/sec");
+  std::vector<std::pair<std::string, double>> backpressure_metrics;
+  for (const std::size_t depth : {std::size_t{1}, std::size_t{8},
+                                  std::size_t{64}}) {
+    constexpr int kAccepted = 3 * kRequests;
+    mathx::Rng session_rng(kBatchSeed);
+    auto session = eng.open_session(
+        session_rng, {.queue_depth = depth, .threads = 4});
+    const auto t0 = std::chrono::steady_clock::now();
+    long accepted = 0, rejected = 0;
+    std::size_t next = 0;
+    while (accepted < kAccepted) {
+      const auto ticket = session.try_submit(requests[next]);
+      if (ticket.ok()) {
+        ++accepted;
+        next = (next + 1) % requests.size();
+        continue;
+      }
+      if (ticket.status().code() != StatusCode::kQueueFull) {
+        std::printf("  unexpected submit failure: %s\n",
+                    ticket.status().to_string().c_str());
+        return 1;
+      }
+      ++rejected;
+      // The queue pushed back: give the workers room (collect a finished
+      // result if one is ready, otherwise yield the producer's core).
+      if (session.next_ready()) {
+        if (!session.next().status.ok()) ++mismatches;
+      } else {
+        std::this_thread::yield();
+      }
+    }
+    for (auto& result : session.drain()) {
+      if (!result.status.ok()) ++mismatches;
+    }
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    const double ratio =
+        static_cast<double>(rejected) /
+        static_cast<double>(accepted + rejected);
+    const double rate = static_cast<double>(kAccepted) / wall;
+    std::printf("  %-8zu %-10ld %-10ld %-14.3f %-12.1f\n", depth, accepted,
+                rejected, ratio, rate);
+    const std::string suffix = "_d" + std::to_string(depth);
+    backpressure_metrics.emplace_back("reject_ratio" + suffix, ratio);
+    backpressure_metrics.emplace_back("accepted_per_sec" + suffix, rate);
+  }
+
   const double per_estimate_ms = 1e3 / rate_1t;
   std::printf("\n");
   bench::paper_vs_measured("single-pair estimate budget", 80.0,
                            per_estimate_ms, "ms");
   std::printf("  determinism cross-check: %d mismatching results "
               "(must be 0)\n", mismatches);
-  bench::json_summary("throughput",
-                      {{"ranges_per_sec_1t", rate_1t},
-                       {"ranges_per_sec_8t", rate_8t},
-                       {"ranges_per_sec_async", rate_async},
-                       {"speedup_8t", rate_8t / rate_1t},
-                       {"mismatches", static_cast<double>(mismatches)}});
+  std::vector<std::pair<std::string, double>> metrics = {
+      {"ranges_per_sec_1t", rate_1t},
+      {"ranges_per_sec_8t", rate_8t},
+      {"ranges_per_sec_async", rate_async},
+      {"speedup_8t", rate_8t / rate_1t},
+      {"mismatches", static_cast<double>(mismatches)}};
+  metrics.insert(metrics.end(), backpressure_metrics.begin(),
+                 backpressure_metrics.end());
+  bench::json_summary("throughput", metrics);
   return mismatches == 0 ? 0 : 1;
 }

@@ -1,38 +1,60 @@
 // Quickstart: measure the sub-nanosecond time-of-flight between two
-// simulated Wi-Fi devices and convert it to a distance.
+// simulated Wi-Fi devices and convert it to a distance — entirely through
+// the public chronos:: API (v2). This file compiles with
+// -DCHRONOS_NO_SIM_IN_PUBLIC_API: no simulator header is reachable from
+// here, only backend-neutral ids and Status-based results.
 //
-//   1. pick an environment (the 20x20 m office testbed),
-//   2. build a ChronosEngine,
+//   1. describe a deployment (named environment + node directory),
+//   2. build an Engine,
 //   3. calibrate the device pair once at a known distance,
-//   4. range.
+//   4. range by NodeId.
 #include <cstdio>
 
-#include "core/engine.hpp"
-#include "sim/environment.hpp"
+#include "chronos.hpp"
 
 int main() {
   using namespace chronos;
 
-  // Two devices with distinct radio "personalities" (hardware seeds give
-  // each its own chain ripple / CFO behaviour, like real cards).
-  const auto phone = sim::make_mobile({3.0, 4.0}, /*hardware_seed=*/101);
-  const auto laptop = sim::make_mobile({9.0, 8.0}, /*hardware_seed=*/202);
+  // Two nodes with distinct radio "personalities" (the id doubles as the
+  // personality seed by default, giving each its own chain ripple / CFO
+  // behaviour, like real cards). The 20x20 m office testbed supplies
+  // multipath.
+  const NodeId phone{101};
+  const NodeId laptop{202};
+  SimDeployment deployment;
+  deployment.environment = SimEnvironment::kOffice20x20;
+  deployment.nodes = {{phone, {{3.0, 4.0}}}, {laptop, {{9.0, 8.0}}}};
 
-  core::EngineConfig config;  // full impairment model, FISTA pipeline
-  core::ChronosEngine engine(sim::office_20x20(), config);
+  auto built = Engine::create_simulated(deployment);
+  if (!built.ok()) {
+    std::printf("engine construction failed: %s\n",
+                built.status().to_string().c_str());
+    return 1;
+  }
+  Engine engine = std::move(built).value();
 
   mathx::Rng rng(2016);
 
   // One-time calibration: absorbs the pair's hardware delays and per-band
   // phase offsets (paper §7). Done at a known 3 m separation.
-  engine.calibrate(phone, laptop, rng);
+  if (const auto s = engine.calibrate(phone, laptop, rng); !s.ok()) {
+    std::printf("calibration failed: %s\n", s.to_string().c_str());
+    return 1;
+  }
 
   // One Chronos measurement = one sweep over all 35 US Wi-Fi bands.
-  const auto result = engine.measure_distance(phone, 0, laptop, 0, rng);
+  const auto measured = engine.measure({{phone, 0}, {laptop, 0}}, rng);
+  if (!measured.ok()) {
+    std::printf("measurement failed: %s\n",
+                measured.status().to_string().c_str());
+    return 1;
+  }
+  const auto& result = measured.value();
 
-  const double true_distance = geom::distance(phone.antennas[0],
-                                              laptop.antennas[0]);
-  std::printf("Chronos quickstart\n");
+  const double true_distance =
+      geom::distance({3.0, 4.0}, {9.0, 8.0});
+  std::printf("Chronos quickstart (backend: %s)\n",
+              engine.backend_name().c_str());
   std::printf("  true distance   : %.3f m\n", true_distance);
   std::printf("  time-of-flight  : %.3f ns\n", result.tof_s * 1e9);
   std::printf("  estimated dist. : %.3f m  (error %+.1f cm)\n",
@@ -42,5 +64,30 @@ int main() {
               result.detection_delay_s * 1e9);
   std::printf("  multipath peaks : %zu in the recovered profile\n",
               result.profile.peaks.size());
+
+  // Typed errors instead of exceptions: a request naming an unknown node
+  // is data, not a crash.
+  const auto bad = engine.measure({{NodeId{999}, 0}, {laptop, 0}}, rng);
+  std::printf("  unknown node    : %s (recoverable, no exception)\n",
+              to_string(bad.status().code()));
+
+  // Streaming ingestion with backpressure: a bounded-queue session over
+  // the same engine. try_submit never blocks — a full queue reports
+  // kQueueFull and the producer decides what to do.
+  RangingSession session = engine.open_session(rng, {.queue_depth = 2});
+  int accepted = 0, rejected = 0;
+  for (int i = 0; i < 6; ++i) {
+    const auto ticket = session.try_submit({{phone, 0}, {laptop, 0}});
+    if (ticket.ok()) {
+      ++accepted;
+    } else if (ticket.status().code() == StatusCode::kQueueFull) {
+      ++rejected;
+      (void)session.next();  // make room: collect the oldest result
+    }
+  }
+  const auto streamed = session.drain();
+  std::printf("  streaming       : %d accepted, %d rejected at depth %zu, "
+              "%zu results drained\n",
+              accepted, rejected, session.queue_depth(), streamed.size());
   return 0;
 }

@@ -7,6 +7,14 @@
 # Usage: scripts/capture_goldens.sh [build-dir] [note]
 #   build-dir  where the bench binaries live (default: build)
 #   note       free-text history annotation (default: "recapture")
+#   ONLY=fig7a,throughput   (env) restrict the run to these figure names —
+#              e.g. ONLY=throughput appends a machine-load metric to the
+#              history without touching any accuracy golden.
+#
+# History-only benches (HISTORY_ONLY_PAIRS below) carry machine-dependent
+# metrics — throughput, backpressure accept/reject ratios — so they are
+# recorded in BENCH_goldens.json for trend review but never gate with a
+# golden file.
 #
 # For every gated bench the script runs the binary, parses its SUMMARY
 # line, rewrites bench/goldens/<fig>.golden in place — preserving comment
@@ -34,9 +42,31 @@ PAIRS=(
   "bench_fig8b_localization_small:fig8b"
   "bench_fig8c_localization_large:fig8c"
 )
+# Recorded in the history only (no golden rewrite, no drift gate).
+HISTORY_ONLY_PAIRS=(
+  "bench_throughput_engine:throughput"
+)
 
-for pair in "${PAIRS[@]}"; do
+if [[ -n "${ONLY:-}" ]]; then
+  filter_pairs() {
+    local out=()
+    for pair in "$@"; do
+      local fig="${pair##*:}"
+      if [[ ",${ONLY}," == *",${fig},"* ]]; then out+=("${pair}"); fi
+    done
+    printf '%s\n' "${out[@]:-}"
+  }
+  mapfile -t PAIRS < <(filter_pairs "${PAIRS[@]}")
+  mapfile -t HISTORY_ONLY_PAIRS < <(filter_pairs "${HISTORY_ONLY_PAIRS[@]}")
+  if [[ -z "$(printf '%s' "${PAIRS[@]}" "${HISTORY_ONLY_PAIRS[@]}")" ]]; then
+    echo "error: ONLY='${ONLY}' matches no bench figure name" >&2
+    exit 1
+  fi
+fi
+
+for pair in "${PAIRS[@]}" "${HISTORY_ONLY_PAIRS[@]}"; do
   bench="${pair%%:*}"
+  [[ -z "${bench}" ]] && continue
   if [[ ! -x "${BUILD_DIR}/bench/${bench}" ]]; then
     echo "error: ${BUILD_DIR}/bench/${bench} not built (run the tier-1 build first)" >&2
     exit 1
@@ -44,20 +74,30 @@ for pair in "${PAIRS[@]}"; do
 done
 
 SUMMARIES_FILE="$(mktemp)"
-trap 'rm -f "${SUMMARIES_FILE}"' EXIT
-for pair in "${PAIRS[@]}"; do
-  bench="${pair%%:*}"
-  fig="${pair##*:}"
+HISTORY_FILE="$(mktemp)"
+trap 'rm -f "${SUMMARIES_FILE}" "${HISTORY_FILE}"' EXIT
+run_bench() {
+  local bench="$1" fig="$2" out="$3"
   echo "running ${bench} ..." >&2
+  local summary
   summary="$("${BUILD_DIR}/bench/${bench}" | grep '^SUMMARY ' | tail -n 1 || true)"
   if [[ -z "${summary}" ]]; then
     echo "error: ${bench} emitted no SUMMARY line" >&2
     exit 1
   fi
-  printf '%s\t%s\n' "${fig}" "${summary#SUMMARY }" >>"${SUMMARIES_FILE}"
+  printf '%s\t%s\n' "${fig}" "${summary#SUMMARY }" >>"${out}"
+}
+for pair in "${PAIRS[@]}"; do
+  [[ -z "${pair}" ]] && continue
+  run_bench "${pair%%:*}" "${pair##*:}" "${SUMMARIES_FILE}"
+done
+for pair in "${HISTORY_ONLY_PAIRS[@]}"; do
+  [[ -z "${pair}" ]] && continue
+  run_bench "${pair%%:*}" "${pair##*:}" "${HISTORY_FILE}"
 done
 
-SUMMARIES="${SUMMARIES_FILE}" NOTE="${NOTE}" REPO_ROOT="${REPO_ROOT}" \
+SUMMARIES="${SUMMARIES_FILE}" HISTORY_ONLY="${HISTORY_FILE}" \
+NOTE="${NOTE}" REPO_ROOT="${REPO_ROOT}" \
 python3 - <<'PY'
 import json
 import os
@@ -71,6 +111,14 @@ with open(os.environ["SUMMARIES"]) as fh:
     for line in fh:
         fig, payload = line.rstrip("\n").split("\t", 1)
         figures[fig] = json.loads(payload)["metrics"]
+
+# History-only figures (throughput/backpressure): recorded below, but no
+# golden file is written or rewritten for them.
+history_only = {}
+with open(os.environ["HISTORY_ONLY"]) as fh:
+    for line in fh:
+        fig, payload = line.rstrip("\n").split("\t", 1)
+        history_only[fig] = json.loads(payload)["metrics"]
 
 # --- rewrite goldens: line order and comments preserved in place, each
 # --- metric keeps its tolerance and gets the freshly measured value ------
@@ -129,7 +177,7 @@ hist["history"].append(
     {
         "date": time.strftime("%Y-%m-%d"),
         "note": note,
-        "figures": figures,
+        "figures": {**figures, **history_only},
     }
 )
 with open(hist_path, "w") as fh:

@@ -1,0 +1,29 @@
+// Umbrella header for the public chronos:: API (v2).
+//
+// This is the only include a client application needs:
+//
+//   #include "chronos.hpp"
+//
+//   chronos::SimDeployment dep;
+//   dep.nodes = {{chronos::NodeId{1}, {{0.0, 0.0}}},
+//                {chronos::NodeId{2}, {{4.0, 3.0}}}};
+//   auto engine = chronos::Engine::create_simulated(dep).value();
+//   chronos::mathx::Rng rng(1);
+//   (void)engine.calibrate(chronos::NodeId{1}, chronos::NodeId{2}, rng);
+//   auto r = engine.measure({{chronos::NodeId{1}, 0},
+//                            {chronos::NodeId{2}, 0}}, rng);
+//   if (r.ok()) { /* r.value().distance_m */ }
+//
+// The surface reachable from here is simulator-free by contract: building
+// a client with -DCHRONOS_NO_SIM_IN_PUBLIC_API turns any transitive sim/
+// include into a compile error (see examples/CMakeLists.txt, which holds
+// quickstart and trace_replay to exactly that standard).
+#pragma once
+
+#include "core/api.hpp"      // Engine, RangingSession, identity, Status
+#include "geom/vec2.hpp"     // floor-plan coordinates
+#include "mathx/rng.hpp"     // the caller-owned randomness streams
+#include "mathx/status.hpp"  // Status / Result / StatusCode
+#include "phy/band_plan.hpp" // Wi-Fi band descriptions
+#include "phy/csi.hpp"       // SweepMeasurement and friends
+#include "phy/csi_io.hpp"    // trace save/load (save_sweep, try_read_sweep)

@@ -1,0 +1,375 @@
+// The backend-neutral public API (v2) of the Chronos ranging system.
+//
+// Everything a client needs to range, localize, and stream requests lives
+// in the top-level `chronos::` namespace and is reachable through the
+// umbrella header <chronos.hpp>:
+//
+//   * identity   — NodeId / AntennaRef name *which* radio is ranging
+//                  against which; a NodeRegistry (implemented by every
+//                  measurement backend) answers what ids exist and how
+//                  many antennas they carry. Public request types carry
+//                  ids only — never simulator structs — so recorded-trace
+//                  and future live-capture deployments use the identical
+//                  surface as the channel simulator.
+//   * errors     — request-shaped failures (unknown node, antenna out of
+//                  range, band mismatch, malformed sweep, full queue) are
+//                  reported as chronos::Status / Result<T> values, never
+//                  exceptions; one bad request in a batch yields one bad
+//                  per-request status, not an aborted batch. Exceptions
+//                  remain reserved for programmer error.
+//   * flow ctrl  — RangingSession streams requests onto the persistent
+//                  engine worker pool through a bounded submission queue:
+//                  try_submit reports kQueueFull immediately (never
+//                  blocks, never drops), submit blocks for space.
+//
+// This header is simulator-free by contract: compiling a client with
+// -DCHRONOS_NO_SIM_IN_PUBLIC_API proves no sim/ header leaks through it
+// (the examples-public-api CTest/CI job does exactly that for
+// examples/quickstart.cpp and examples/trace_replay.cpp).
+//
+// The engine-level API (core::ChronosEngine) remains available for code
+// that composes its own backends and band plans; this facade wraps it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <compare>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/calibration.hpp"
+#include "core/localization.hpp"
+#include "core/ranging.hpp"
+#include "geom/vec2.hpp"
+#include "mathx/rng.hpp"
+#include "mathx/status.hpp"
+#include "phy/csi.hpp"
+
+namespace chronos {
+
+namespace core {
+class SweepSource;    // the backend seam (core/sweep_source.hpp)
+class ChronosEngine;  // the engine this facade wraps (core/engine.hpp)
+class RangingSession; // the bounded-queue machinery (core/session.hpp)
+}  // namespace core
+
+// ---------------------------------------------------------------------------
+// Identity
+// ---------------------------------------------------------------------------
+
+/// Opaque, backend-neutral identity of one node (one radio/device). What an
+/// id *means* is the backend's business: the simulator backend maps ids to
+/// registered device descriptions, a trace backend to the capture-session
+/// identity recorded in its trace keys.
+struct NodeId {
+  std::uint64_t value = 0;
+  friend auto operator<=>(const NodeId&, const NodeId&) = default;
+};
+
+/// One specific antenna of one node.
+struct AntennaRef {
+  NodeId node;
+  std::size_t antenna = 0;
+  friend auto operator<=>(const AntennaRef&, const AntennaRef&) = default;
+};
+
+/// One unit of ranging work, v2: which antenna of which node ranges
+/// against which antenna of which other node. Ids only — the backend's
+/// NodeRegistry resolves them.
+struct RangingRequest {
+  AntennaRef tx;
+  AntennaRef rx;
+  friend auto operator<=>(const RangingRequest&, const RangingRequest&) =
+      default;
+};
+
+/// One unit of localization work, v2 (see Engine::locate).
+struct LocateRequest {
+  NodeId tx;
+  NodeId rx;
+  std::optional<geom::Vec2> hint;
+};
+
+/// Directory interface every measurement backend implements: which node
+/// ids exist, and how many antennas each carries. This is the identity
+/// half of the backend seam; resolution to backend-internal descriptions
+/// happens behind core::SweepSource.
+class NodeRegistry {
+ public:
+  virtual ~NodeRegistry() = default;
+
+  virtual bool has_node(NodeId id) const = 0;
+
+  /// Number of antennas of `id`, or kUnknownNode.
+  virtual Result<std::size_t> antenna_count(NodeId id) const = 0;
+
+  /// Every registered node id, ascending (diagnostics / enumeration).
+  virtual std::vector<NodeId> nodes() const = 0;
+
+  /// Checks both endpoints of `request` against the directory: kOk, or the
+  /// first failure (kUnknownNode / kAntennaOutOfRange) with a message
+  /// naming the offending endpoint.
+  Status validate(const RangingRequest& request) const;
+};
+
+// ---------------------------------------------------------------------------
+// Batch + session option/result types (shared by facade and engine level)
+// ---------------------------------------------------------------------------
+
+struct BatchOptions {
+  /// Worker threads. 0 = one per hardware thread; 1 = run inline on the
+  /// calling thread (no pool). Clamped to the number of requests. Any value
+  /// yields bit-identical results — this knob trades wall-clock only.
+  int threads = 0;
+};
+
+struct BatchResult {
+  /// results[i] corresponds to requests[i] (submission order, always).
+  /// Per-request failures are reported in results[i].status — a bad
+  /// request never aborts the rest of the batch.
+  std::vector<core::RangingResult> results;
+  /// Wall-clock diagnostics; informational only, NOT covered by the
+  /// determinism contract. For async submissions, wall_time_s spans
+  /// submit -> get() collection.
+  int threads_used = 1;
+  double wall_time_s = 0.0;
+};
+
+struct SessionOptions {
+  /// Maximum in-flight requests (admitted but not yet finished) before
+  /// try_submit reports kQueueFull and submit blocks. The backpressure
+  /// knob for sustained streaming ingestion.
+  std::size_t queue_depth = 64;
+  /// Worker threads backing the session (same semantics as BatchOptions;
+  /// 0 = one per hardware thread).
+  int threads = 0;
+};
+
+/// Full device-to-device localization output (Engine::locate).
+struct LocateOutcome {
+  /// v2: request-shaped failures land here (unknown node, a receiver
+  /// without enough antennas, a backend without geometry); the remaining
+  /// fields are meaningful only when status.ok().
+  Status status;
+  core::LocalizationResult result;
+  /// Raw ranges of the *first* TX antenna to each RX anchor.
+  std::vector<double> antenna_distances_m;
+  /// Full pipeline output per (tx antenna, rx antenna) pair, tx-major.
+  std::vector<core::RangingResult> details;
+  /// Per-TX-antenna position estimates (paper §8: a multi-antenna
+  /// transmitter contributes one trilateration per antenna; the combined
+  /// estimate is their component-wise median, which also votes down a
+  /// mirror-flipped member).
+  std::vector<core::LocalizationResult> per_tx_antenna;
+};
+
+// ---------------------------------------------------------------------------
+// Deployment descriptions (backend construction without backend headers)
+// ---------------------------------------------------------------------------
+
+/// Backend-neutral description of one node for registration: its id, its
+/// antenna positions (metres, floor-plan frame), and optionally a distinct
+/// radio personality seed (chain ripple / CFO behaviour; defaults to the
+/// id itself). Several nodes may share a personality — e.g. sweeping one
+/// physical card over many positions.
+struct NodeSpec {
+  NodeId id;
+  std::vector<geom::Vec2> antennas;
+  std::uint64_t personality = 0;  ///< 0 = use id.value
+};
+
+/// Named simulated environments (the paper's testbeds).
+enum class SimEnvironment {
+  kOffice20x20,  ///< 20x20 m office with furniture-grade multipath (§12.1)
+  kAnechoic,     ///< single-path reference chamber
+  kDroneRoom6x5, ///< the 6x5 m VICON drone room (§12.4)
+};
+
+/// A simulator-backed deployment: an environment plus the initial node
+/// directory. More nodes can be registered later via Engine::add_node.
+struct SimDeployment {
+  SimEnvironment environment = SimEnvironment::kOffice20x20;
+  std::vector<NodeSpec> nodes;
+};
+
+/// One recorded link of a trace deployment: the id-level request it
+/// answers, and the csi_io trace file holding its sweep(s).
+struct TraceLink {
+  RangingRequest link;
+  std::string path;
+};
+
+/// A recorded-trace deployment: ranging replays these files; node identity
+/// is derived from the link ids.
+struct TraceDeployment {
+  std::vector<TraceLink> links;
+};
+
+/// Facade-level engine options (the simulator sweep plan is a backend
+/// concern; engine-level code can tune it via core::EngineConfig).
+struct EngineOptions {
+  core::RangingConfig ranging;
+  /// Sweeps averaged during fixture calibration.
+  int calibration_sweeps = 4;
+  /// Known separation used for the calibration fixture [m].
+  double calibration_distance_m = 3.0;
+};
+
+// ---------------------------------------------------------------------------
+// Streaming session
+// ---------------------------------------------------------------------------
+
+/// A stream of ranging requests onto the engine's persistent worker pool,
+/// with a bounded submission queue for flow control.
+///
+/// Tickets are dense sequence numbers (0, 1, 2, ...) in submission order;
+/// results are collected in that same order via next()/drain(). The
+/// determinism contract of the batched runtime holds per ticket: the
+/// result of ticket i is a pure function of (engine, request, session
+/// stream, i) — never of scheduling, queue depth, or collection timing.
+///
+/// Thread model: one producer thread submits, any thread may collect;
+/// submission and collection may overlap freely.
+class RangingSession {
+ public:
+  RangingSession();
+  RangingSession(RangingSession&&) noexcept;
+  RangingSession& operator=(RangingSession&&) noexcept;
+  ~RangingSession();
+
+  bool valid() const;
+
+  /// Admits `request` if the queue has room NOW: returns its ticket, or
+  /// kQueueFull (the request is NOT enqueued — resubmit after collecting),
+  /// or a registry/validation error. Never blocks.
+  Result<std::uint64_t> try_submit(const RangingRequest& request);
+
+  /// Like try_submit, but blocks until queue space frees up. Returns
+  /// registry/validation errors without blocking.
+  Result<std::uint64_t> submit(const RangingRequest& request);
+
+  std::size_t queue_depth() const;
+  /// Requests admitted so far (== the next ticket to be issued).
+  std::size_t submitted() const;
+  /// Admitted but not yet finished (what the queue depth bounds).
+  std::size_t in_flight() const;
+  /// True when the next in-order result can be collected without blocking.
+  bool next_ready() const;
+  /// Blocks until the next in-order result is done, then returns it.
+  /// Precondition: fewer results collected than submitted.
+  core::RangingResult next();
+  /// Collects every remaining result, in ticket order (blocks until done).
+  std::vector<core::RangingResult> drain();
+
+ private:
+  friend class Engine;
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+// ---------------------------------------------------------------------------
+// Engine facade
+// ---------------------------------------------------------------------------
+
+/// The v2 public engine: wraps core::ChronosEngine behind a backend-neutral,
+/// Status-based, simulator-free surface. Move-only; construct through the
+/// factories (or adopt() an explicit backend).
+class Engine {
+ public:
+  Engine();  ///< invalid engine (valid() == false); use the factories
+  Engine(Engine&&) noexcept;
+  Engine& operator=(Engine&&) noexcept;
+  ~Engine();
+
+  bool valid() const;
+
+  /// Simulator-backed engine over a named environment, with `deployment`'s
+  /// nodes pre-registered. kInvalidArgument on duplicate/invalid specs.
+  static Result<Engine> create_simulated(const SimDeployment& deployment,
+                                         const EngineOptions& options = {});
+
+  /// Recorded-trace engine: loads every link's csi_io file. Reports
+  /// kMalformedSweep / kBandMismatch / file errors per the first failing
+  /// link. Pair with set_calibration() for a recorded calibration table.
+  static Result<Engine> create_replay(const TraceDeployment& deployment,
+                                      const EngineOptions& options = {});
+
+  /// Wraps an explicit backend (power users composing their own
+  /// core::SweepSource / band plans).
+  static Engine adopt(std::shared_ptr<core::SweepSource> source,
+                      const EngineOptions& options = {});
+
+  /// The backend's node directory.
+  const NodeRegistry& registry() const;
+
+  /// Registers (or replaces) a node on backends with a writable directory
+  /// (simulator); kUnavailable on replay backends, whose directory is
+  /// fixed by the recorded traces.
+  Status add_node(const NodeSpec& node);
+
+  /// One-time fixture calibration of a device pair (paper §7): simulated
+  /// anechoic fixture at a known distance, backend-independent by
+  /// construction. Requires resolvable node descriptions — kUnavailable on
+  /// backends without them (install a recorded table instead).
+  Status calibrate(NodeId tx, NodeId rx, mathx::Rng& rng);
+
+  /// Installs a pre-computed calibration table (e.g. recorded alongside a
+  /// trace campaign).
+  void set_calibration(core::CalibrationTable calibration);
+  const core::CalibrationTable& calibration() const;
+
+  /// Time-of-flight / distance for one request.
+  Result<core::RangingResult> measure(const RangingRequest& request,
+                                      mathx::Rng& rng) const;
+
+  /// The raw calibrated sweep `request` would measure — for recording
+  /// campaigns (phy::save_sweep) and diagnostics.
+  Result<phy::SweepMeasurement> capture_sweep(const RangingRequest& request,
+                                              mathx::Rng& rng) const;
+
+  /// Runs the estimation pipeline on an externally produced sweep (e.g.
+  /// one loaded with phy::load_sweep), using this engine's calibration.
+  Result<core::RangingResult> estimate(const phy::SweepMeasurement& sweep)
+      const;
+
+  /// Ranges every request on the persistent session pool; results in
+  /// request order, one status per result, bit-identical for every thread
+  /// count. Advances `rng` by exactly one fork().
+  BatchResult measure_batch(std::span<const RangingRequest> requests,
+                            mathx::Rng& rng,
+                            const BatchOptions& options = {}) const;
+
+  /// Opens a streaming session over the persistent pool. Forks `rng` once;
+  /// ticket i then draws from split stream i, so a session submitted one
+  /// request at a time is bit-identical to measure_batch over the same
+  /// requests on the same rng state.
+  RangingSession open_session(mathx::Rng& rng,
+                              const SessionOptions& options = {}) const;
+
+  /// Device-to-device localization (paper §8). Requires a backend with
+  /// node geometry (simulator) and a receiver with >= 2 antennas.
+  Result<LocateOutcome> locate(
+      NodeId tx, NodeId rx, mathx::Rng& rng,
+      const std::optional<geom::Vec2>& hint = std::nullopt,
+      const BatchOptions& options = {}) const;
+
+  /// Stable backend identifier ("sim", "trace", ...).
+  std::string backend_name() const;
+
+  /// Size of the persistent session pool (0 until first needed).
+  std::size_t session_threads() const;
+
+  /// The wrapped engine-level object, for code that needs the full
+  /// core surface (band plans, async BatchHandle, explicit backends).
+  core::ChronosEngine& engine();
+  const core::ChronosEngine& engine() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace chronos

@@ -3,20 +3,13 @@
 #include <algorithm>
 #include <chrono>
 #include <exception>
-#include <future>
+#include <limits>
 #include <utility>
 
 #include "core/worker_pool.hpp"
 #include "mathx/contracts.hpp"
 
 namespace chronos::core {
-
-namespace {
-/// fork() tag for the per-batch base stream ("batch" in ASCII). Shared by
-/// the synchronous and async entry points so they advance the caller's rng
-/// identically.
-constexpr std::uint64_t kBatchStreamTag = 0x6261746368ull;
-}  // namespace
 
 int resolve_batch_threads(const BatchOptions& options,
                           std::size_t n_requests) {
@@ -28,44 +21,13 @@ int resolve_batch_threads(const BatchOptions& options,
   return static_cast<int>(n);
 }
 
-namespace {
-/// What the per-request jobs share: an immutable copy of the requests, the
-/// split-stream parent, and owning references on everything a job touches
-/// (so a handle stays collectable even after the issuing engine dies).
-/// Deliberately does NOT reference the pool — a worker thread may be the
-/// one dropping the last payload reference, and it must never end up
-/// destroying (and thus self-joining) its own pool.
-struct BatchPayload {
-  const mathx::Rng base;
-  const std::vector<RangingRequest> requests;
-  const std::shared_ptr<const SweepSource> source;
-  const std::shared_ptr<const RangingPipeline> pipeline;
-  const std::shared_ptr<const CalibrationTable> calibration;
-
-  BatchPayload(mathx::Rng b, std::span<const RangingRequest> reqs,
-               std::shared_ptr<const SweepSource> src,
-               std::shared_ptr<const RangingPipeline> pipe,
-               std::shared_ptr<const CalibrationTable> cal)
-      : base(std::move(b)),
-        requests(reqs.begin(), reqs.end()),
-        source(std::move(src)),
-        pipeline(std::move(pipe)),
-        calibration(std::move(cal)) {}
-};
-}  // namespace
-
 struct BatchHandle::State {
-  std::shared_ptr<WorkerPool> pool;  ///< keeps the workers alive (caller side)
-  std::shared_ptr<const BatchPayload> payload;
-  std::vector<std::future<RangingResult>> futures;
+  RangingSession session;
   std::chrono::steady_clock::time_point t0;
   int threads_used = 1;
 
-  State(std::shared_ptr<WorkerPool> p,
-        std::shared_ptr<const BatchPayload> pay)
-      : pool(std::move(p)),
-        payload(std::move(pay)),
-        t0(std::chrono::steady_clock::now()) {}
+  explicit State(RangingSession s)
+      : session(std::move(s)), t0(std::chrono::steady_clock::now()) {}
 };
 
 BatchHandle::BatchHandle(BatchHandle&&) noexcept = default;
@@ -73,22 +35,17 @@ BatchHandle& BatchHandle::operator=(BatchHandle&&) noexcept = default;
 BatchHandle::~BatchHandle() = default;
 
 std::size_t BatchHandle::size() const {
-  return state_ ? state_->payload->requests.size() : 0;
+  return state_ ? state_->session.submitted() : 0;
 }
 
 bool BatchHandle::ready() const {
   CHRONOS_EXPECTS(state_ != nullptr, "ready() on an invalid BatchHandle");
-  for (const auto& f : state_->futures) {
-    if (f.wait_for(std::chrono::seconds(0)) != std::future_status::ready) {
-      return false;
-    }
-  }
-  return true;
+  return state_->session.all_done();
 }
 
 void BatchHandle::wait() const {
   CHRONOS_EXPECTS(state_ != nullptr, "wait() on an invalid BatchHandle");
-  for (const auto& f : state_->futures) f.wait();
+  state_->session.wait_all();
 }
 
 BatchResult BatchHandle::get() {
@@ -97,24 +54,20 @@ BatchResult BatchHandle::get() {
 
   BatchResult out;
   out.threads_used = state->threads_used;
-  out.results.reserve(state->futures.size());
-  // Drain every future even past a failure (so the pool is quiescent with
-  // respect to this batch), then rethrow the first failure by index.
-  std::exception_ptr first_error;
-  for (auto& f : state->futures) {
-    try {
-      out.results.push_back(f.get());
-    } catch (...) {
-      if (!first_error) first_error = std::current_exception();
-      out.results.push_back({});
-    }
-  }
+  out.results = state->session.drain();
   out.wall_time_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     state->t0)
           .count();
-  if (first_error) std::rethrow_exception(first_error);
   return out;
+}
+
+BatchHandle make_batch_handle(RangingSession session, int threads_used) {
+  auto state = std::make_unique<BatchHandle::State>(std::move(session));
+  state->threads_used = threads_used;
+  BatchHandle handle;
+  handle.state_ = std::move(state);
+  return handle;
 }
 
 BatchHandle submit_ranging_batch(
@@ -122,34 +75,28 @@ BatchHandle submit_ranging_batch(
     std::shared_ptr<const SweepSource> source,
     std::shared_ptr<const RangingPipeline> pipeline,
     std::shared_ptr<const CalibrationTable> calibration,
-    std::span<const RangingRequest> requests, mathx::Rng& rng) {
+    std::span<const ResolvedRequest> requests, mathx::Rng& rng) {
   CHRONOS_EXPECTS(pool != nullptr, "submit_ranging_batch needs a pool");
   CHRONOS_EXPECTS(source != nullptr && pipeline != nullptr &&
                       calibration != nullptr,
                   "submit_ranging_batch needs a source, pipeline, and "
                   "calibration");
-  // One fork regardless of batch size: the caller's stream advances the
-  // same way whether it batches 1 request or 10^6, sync or async.
-  auto payload = std::make_shared<const BatchPayload>(
-      rng.fork(kBatchStreamTag), requests, std::move(source),
-      std::move(pipeline), std::move(calibration));
-  auto state =
-      std::make_unique<BatchHandle::State>(std::move(pool), payload);
-  const std::size_t n = payload->requests.size();
-  state->threads_used = static_cast<int>(
-      std::min(state->pool->size(), std::max<std::size_t>(1, n)));
+  const std::size_t n = requests.size();
+  const std::size_t pool_size = pool->size();
 
-  // Request i is a pure function of (source, pipeline, calibration,
-  // requests[i], base.split(i)): scheduling cannot leak into results. Jobs
-  // own everything they touch through the shared payload.
-  state->futures.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    state->futures.push_back(state->pool->submit([payload, i]() {
-      mathx::Rng child = payload->base.split(static_cast<std::uint64_t>(i));
-      const RangingRequest& req = payload->requests[i];
-      const auto sweep = payload->source->sweep_for(req, child);
-      return payload->pipeline->estimate(sweep, *payload->calibration);
-    }));
+  // A batch is a session with no admission bound: every request is
+  // enqueued up front (the caller opted into batch semantics, so the
+  // submission side needs no flow control), ticket i == request index i,
+  // and the one fork() below advances the caller's stream exactly like the
+  // synchronous path.
+  auto state = std::make_unique<BatchHandle::State>(open_ranging_session(
+      std::move(pool), std::move(source), std::move(pipeline),
+      std::move(calibration), rng,
+      std::numeric_limits<std::size_t>::max()));
+  state->threads_used = static_cast<int>(
+      std::min(pool_size, std::max<std::size_t>(1, n)));
+  for (const auto& request : requests) {
+    (void)state->session.submit_resolved(request);
   }
 
   BatchHandle handle;
@@ -160,9 +107,12 @@ BatchHandle submit_ranging_batch(
 BatchResult run_ranging_batch(const SweepSource& source,
                               const RangingPipeline& pipeline,
                               const CalibrationTable& calibration,
-                              std::span<const RangingRequest> requests,
+                              std::span<const ResolvedRequest> requests,
                               mathx::Rng& rng, const BatchOptions& options,
-                              std::shared_ptr<WorkerPool> pool) {
+                              std::shared_ptr<WorkerPool> pool,
+                              std::span<const chronos::Status> prefailed) {
+  CHRONOS_EXPECTS(prefailed.empty() || prefailed.size() == requests.size(),
+                  "prefailed must be empty or match the request count");
   const int threads = resolve_batch_threads(options, requests.size());
   const mathx::Rng base = rng.fork(kBatchStreamTag);
 
@@ -173,10 +123,23 @@ BatchResult run_ranging_batch(const SweepSource& source,
   // requests[i], base.split(i)): scheduling cannot leak into results. The
   // call is synchronous, so jobs borrow the caller's span and objects
   // directly — no per-request copies (the async path pays those instead).
+  // Backend failures land in the result's status; jobs never throw for
+  // request-shaped reasons. Slots that failed upstream short-circuit
+  // before the backend (and before their split stream) is touched.
   auto process = [&](std::size_t i) {
+    if (!prefailed.empty() && !prefailed[i].ok()) {
+      RangingResult failed;
+      failed.status = prefailed[i];
+      return failed;
+    }
     mathx::Rng child = base.split(static_cast<std::uint64_t>(i));
-    const auto sweep = source.sweep_for(requests[i], child);
-    return pipeline.estimate(sweep, calibration);
+    auto sweep = source.sweep_for(requests[i], child);
+    if (!sweep.ok()) {
+      RangingResult failed;
+      failed.status = sweep.status();
+      return failed;
+    }
+    return pipeline.estimate(sweep.value(), calibration);
   };
 
   if (threads <= 1) {

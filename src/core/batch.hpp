@@ -10,20 +10,26 @@
 // batched with 1 thread, and a plain sequential loop over the split streams
 // all agree exactly (tests/test_core_batch.cpp is the enforcement).
 //
+// Error model (API v2): request-shaped failures are per-request data, not
+// exceptions — results[i].status carries them, and one bad request never
+// aborts the other N-1. Exceptions out of these entry points indicate
+// programmer error.
+//
 // The measurement substrate is the `core::SweepSource` seam
 // (core/sweep_source.hpp): the runtime is backend-generic, so simulated
 // sweeps, recorded traces, and future live-capture transports all range
 // through the identical code path.
 //
-// Two entry points:
+// Two entry points (both thin clients of core/session.hpp, the streaming
+// primitive with the bounded submission queue):
 //   * run_ranging_batch     synchronous; runs inline for <= 1 thread,
 //                           otherwise fans out on a worker pool (a caller-
 //                           provided persistent pool, or a transient one);
-//   * submit_ranging_batch  asynchronous; enqueues every request on a
-//                           persistent pool and returns a future-style
-//                           BatchHandle immediately, enabling pipelined
-//                           ingestion (submit the next batch while the
-//                           previous one is still ranging).
+//   * submit_ranging_batch  asynchronous; admits every request to a
+//                           session on a persistent pool and returns a
+//                           future-style BatchHandle immediately, enabling
+//                           pipelined ingestion (submit the next batch
+//                           while the previous one is still ranging).
 #pragma once
 
 #include <cstdint>
@@ -32,8 +38,10 @@
 #include <span>
 #include <vector>
 
+#include "core/api.hpp"
 #include "core/calibration.hpp"
 #include "core/ranging.hpp"
+#include "core/session.hpp"
 #include "core/sweep_source.hpp"
 #include "geom/vec2.hpp"
 #include "mathx/rng.hpp"
@@ -42,35 +50,25 @@ namespace chronos::core {
 
 class WorkerPool;
 
-/// One unit of localization work (see ChronosEngine::locate_batch).
-struct LocateRequest {
+/// The public batch option/result types live on the chronos:: facade
+/// (core/api.hpp); these aliases keep engine-level code terse.
+using BatchOptions = chronos::BatchOptions;
+using BatchResult = chronos::BatchResult;
+
+/// One unit of localization work after backend resolution (see
+/// ChronosEngine::locate_batch; new code submits chronos::LocateRequest
+/// ids instead).
+struct ResolvedLocateRequest {
   sim::Device tx;
   sim::Device rx;
   std::optional<geom::Vec2> hint;
-};
-
-struct BatchOptions {
-  /// Worker threads. 0 = one per hardware thread; 1 = run inline on the
-  /// calling thread (no pool). Clamped to the number of requests. Any value
-  /// yields bit-identical results — this knob trades wall-clock only.
-  int threads = 0;
-};
-
-struct BatchResult {
-  /// results[i] corresponds to requests[i] (submission order, always).
-  std::vector<RangingResult> results;
-  /// Wall-clock diagnostics; informational only, NOT covered by the
-  /// determinism contract. For async submissions, wall_time_s spans
-  /// submit -> get() collection.
-  int threads_used = 1;
-  double wall_time_s = 0.0;
 };
 
 /// Future-style handle to a batch in flight on a persistent worker pool.
 ///
 /// Obtained from submit_ranging_batch (or ChronosEngine::submit_batch).
 /// Results are collected once with get(). The handle is self-contained: it
-/// owns a copy of the requests plus shared references on the pool, source,
+/// owns a streaming session over the pool, which co-owns the source,
 /// pipeline, and calibration, so the submitting caller's request buffer may
 /// die immediately and the handle remains collectable even after the engine
 /// that issued it is destroyed. Movable, not copyable. Destroying a handle
@@ -97,9 +95,9 @@ class BatchHandle {
   /// Blocks until every request has finished.
   void wait() const;
 
-  /// Blocks, then returns results in submission order. Rethrows the first
-  /// (by request index) job exception after the batch drains. Consumes the
-  /// handle (valid() becomes false).
+  /// Blocks, then returns results in submission order — per-request
+  /// failures in results[i].status. Consumes the handle (valid() becomes
+  /// false).
   BatchResult get();
 
  private:
@@ -108,29 +106,38 @@ class BatchHandle {
       std::shared_ptr<const SweepSource> source,
       std::shared_ptr<const RangingPipeline> pipeline,
       std::shared_ptr<const CalibrationTable> calibration,
-      std::span<const RangingRequest> requests, mathx::Rng& rng);
+      std::span<const ResolvedRequest> requests, mathx::Rng& rng);
+  friend BatchHandle make_batch_handle(RangingSession session,
+                                       int threads_used);
   struct State;
   std::shared_ptr<State> state_;
 };
 
-/// Async entry point: forks `rng` once (immediately, so the caller's stream
-/// advances identically to the synchronous path), enqueues every request on
-/// `pool`, and returns without waiting. The handle co-owns every argument,
-/// so no lifetime obligation survives the call. (For stack-owned pipeline
-/// objects, wrap them in a non-owning aliasing shared_ptr only if they
-/// provably outlive the handle — owning pointers are the safe default.)
+/// Wraps an already-fed session in a BatchHandle (the adapter the engine's
+/// id-based submit_batch uses after resolving + admitting its requests).
+BatchHandle make_batch_handle(RangingSession session, int threads_used);
+
+/// Async entry point: opens an unbounded session (forking `rng` once, so
+/// the caller's stream advances identically to the synchronous path),
+/// admits every request, and returns without waiting. The handle co-owns
+/// every argument, so no lifetime obligation survives the call.
 BatchHandle submit_ranging_batch(
     std::shared_ptr<WorkerPool> pool,
     std::shared_ptr<const SweepSource> source,
     std::shared_ptr<const RangingPipeline> pipeline,
     std::shared_ptr<const CalibrationTable> calibration,
-    std::span<const RangingRequest> requests, mathx::Rng& rng);
+    std::span<const ResolvedRequest> requests, mathx::Rng& rng);
 
 /// Ranges every request through `pipeline` against sweeps produced by
 /// `source`. Advances `rng` by exactly one fork() regardless of batch size
 /// or thread count, so surrounding sequential code stays reproducible too.
-/// Rethrows the first (by request index) job exception after the pool
-/// drains.
+/// Per-request failures land in results[i].status.
+///
+/// `prefailed` (empty, or one Status per request) marks slots that already
+/// failed upstream (e.g. id resolution): a non-ok prefailed[i] becomes
+/// results[i].status directly — the backend is never consulted for that
+/// slot and its split stream goes unused, leaving every other slot
+/// bit-identical to the all-valid batch.
 ///
 /// With `pool == nullptr` and more than one resolved thread, a transient
 /// pool is spawned for the call (the pre-session behavior); passing a
@@ -139,10 +146,11 @@ BatchHandle submit_ranging_batch(
 BatchResult run_ranging_batch(const SweepSource& source,
                               const RangingPipeline& pipeline,
                               const CalibrationTable& calibration,
-                              std::span<const RangingRequest> requests,
+                              std::span<const ResolvedRequest> requests,
                               mathx::Rng& rng,
                               const BatchOptions& options = {},
-                              std::shared_ptr<WorkerPool> pool = nullptr);
+                              std::shared_ptr<WorkerPool> pool = nullptr,
+                              std::span<const chronos::Status> prefailed = {});
 
 /// Thread count `run_ranging_batch` will actually use for `n_requests`
 /// under `options` (exposed so benches can report honest numbers).

@@ -1,6 +1,7 @@
 #include "core/engine.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <utility>
 
 #include "core/worker_pool.hpp"
@@ -34,8 +35,18 @@ ChronosEngine::ChronosEngine(std::shared_ptr<const SweepSource> source,
           checked_bands(source_), config_.ranging)),
       calibration_(std::make_shared<const CalibrationTable>()) {}
 
-void ChronosEngine::calibrate(const sim::Device& tx, const sim::Device& rx,
-                              mathx::Rng& rng) {
+void ChronosEngine::ensure_registered(const sim::Device& device) const {
+  if (const auto* sim_source =
+          dynamic_cast<const SimSweepSource*>(source_.get())) {
+    sim_source->ensure_node(device);
+  }
+}
+
+// ------------------------------------------------------------- calibration
+
+void ChronosEngine::calibrate_resolved(const sim::Device& tx,
+                                       const sim::Device& rx,
+                                       mathx::Rng& rng) {
   CHRONOS_EXPECTS(config_.calibration_sweeps >= 1,
                   "need at least one calibration sweep");
 
@@ -62,9 +73,80 @@ void ChronosEngine::calibrate(const sim::Device& tx, const sim::Device& rx,
                             config_.ranging.combining));
 }
 
+chronos::Status ChronosEngine::calibrate(chronos::NodeId tx, chronos::NodeId rx,
+                                         mathx::Rng& rng) {
+  if (!source_->has_geometry()) {
+    return {chronos::StatusCode::kUnavailable,
+            "backend '" + source_->backend_name() +
+                "' carries no device descriptions; install a recorded table "
+                "via set_calibration()"};
+  }
+  const auto resolved = source_->resolve({{tx, 0}, {rx, 0}});
+  if (!resolved.ok()) return resolved.status();
+  calibrate_resolved(resolved.value().tx, resolved.value().rx, rng);
+  return chronos::Status::Ok();
+}
+
+void ChronosEngine::calibrate(const sim::Device& tx, const sim::Device& rx,
+                              mathx::Rng& rng) {
+  // Deprecated shim: make the pair resolvable by id, then calibrate the
+  // devices it was handed (bit-identical to the pre-v2 path).
+  ensure_registered(tx);
+  ensure_registered(rx);
+  calibrate_resolved(tx, rx, rng);
+}
+
 void ChronosEngine::set_calibration(CalibrationTable calibration) {
   calibration_ =
       std::make_shared<const CalibrationTable>(std::move(calibration));
+}
+
+// ----------------------------------------------------------------- ranging
+
+chronos::Result<RangingResult> ChronosEngine::measure(
+    const chronos::RangingRequest& request, mathx::Rng& rng) const {
+  auto resolved = source_->resolve(request);
+  if (!resolved.ok()) return resolved.status();
+  auto sweep = source_->sweep_for(resolved.value(), rng);
+  if (!sweep.ok()) return sweep.status();
+  return pipeline_->estimate(sweep.value(), *calibration_);
+}
+
+chronos::Result<phy::SweepMeasurement> ChronosEngine::capture_sweep(
+    const chronos::RangingRequest& request, mathx::Rng& rng) const {
+  auto resolved = source_->resolve(request);
+  if (!resolved.ok()) return resolved.status();
+  return source_->sweep_for(resolved.value(), rng);
+}
+
+chronos::Result<RangingResult> ChronosEngine::estimate(
+    const phy::SweepMeasurement& sweep) const {
+  // Distinguish a recoverable plan mismatch (the sweep was recorded under
+  // a different band plan — rebuild the pipeline for it) from structural
+  // damage before handing the sweep to the pipeline.
+  const auto& plan = source_->bands();
+  if (sweep.bands.size() != plan.size()) {
+    return chronos::Status{
+        chronos::StatusCode::kBandMismatch,
+        "sweep covers " + std::to_string(sweep.bands.size()) +
+            " bands; this engine's plan has " + std::to_string(plan.size())};
+  }
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    if (sweep.bands[i].empty()) break;  // structural issue: pipeline reports
+    if (sweep.bands[i].front().forward.band.channel != plan[i].channel) {
+      return chronos::Status{
+          chronos::StatusCode::kBandMismatch,
+          "sweep band " + std::to_string(i) + " is channel " +
+              std::to_string(sweep.bands[i].front().forward.band.channel) +
+              "; this engine's plan expects channel " +
+              std::to_string(plan[i].channel)};
+    }
+  }
+  try {
+    return pipeline_->estimate(sweep, *calibration_);
+  } catch (const std::invalid_argument& e) {
+    return chronos::Status{chronos::StatusCode::kMalformedSweep, e.what()};
+  }
 }
 
 RangingResult ChronosEngine::measure_distance(const sim::Device& tx,
@@ -72,10 +154,18 @@ RangingResult ChronosEngine::measure_distance(const sim::Device& tx,
                                               const sim::Device& rx,
                                               std::size_t rx_antenna,
                                               mathx::Rng& rng) const {
-  const auto sweep =
+  // Deprecated shim: the devices ARE the resolution, so register them for
+  // later id-based calls and range directly — same draws, same bits as the
+  // pre-v2 overload (tests/test_core_api.cpp pins shim-vs-v2 equality).
+  ensure_registered(tx);
+  ensure_registered(rx);
+  auto sweep =
       source_->sweep_for({tx, tx_antenna, rx, rx_antenna}, rng);
-  return pipeline_->estimate(sweep, *calibration_);
+  CHRONOS_EXPECTS(sweep.ok(), sweep.status().to_string());
+  return pipeline_->estimate(sweep.value(), *calibration_);
 }
+
+// ----------------------------------------------------------------- batches
 
 std::shared_ptr<WorkerPool> ChronosEngine::session_pool(int threads) const {
   const auto wanted = static_cast<std::size_t>(std::max(threads, 1));
@@ -95,7 +185,7 @@ std::size_t ChronosEngine::session_threads() const {
 }
 
 BatchResult ChronosEngine::measure_batch(
-    std::span<const RangingRequest> requests, mathx::Rng& rng,
+    std::span<const ResolvedRequest> requests, mathx::Rng& rng,
     const BatchOptions& options) const {
   const int threads = resolve_batch_threads(options, requests.size());
   return run_ranging_batch(*source_, *pipeline_, *calibration_, requests,
@@ -103,31 +193,88 @@ BatchResult ChronosEngine::measure_batch(
                            threads > 1 ? session_pool(threads) : nullptr);
 }
 
+BatchResult ChronosEngine::measure_batch(
+    std::span<const chronos::RangingRequest> requests, mathx::Rng& rng,
+    const BatchOptions& options) const {
+  // Resolve up front so every request keeps its index (and thus its split
+  // stream): failed slots are passed to the runtime as a prefailed mask —
+  // their placeholder entries are never handed to the backend, and their
+  // results carry the resolution status.
+  std::vector<ResolvedRequest> resolved(requests.size());
+  std::vector<chronos::Status> failures(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    auto r = source_->resolve(requests[i]);
+    if (r.ok()) {
+      resolved[i] = std::move(r).value();
+    } else {
+      failures[i] = r.status();
+    }
+  }
+  const int threads = resolve_batch_threads(options, resolved.size());
+  return run_ranging_batch(*source_, *pipeline_, *calibration_, resolved,
+                           rng, options,
+                           threads > 1 ? session_pool(threads) : nullptr,
+                           failures);
+}
+
 BatchHandle ChronosEngine::submit_batch(
-    std::span<const RangingRequest> requests, mathx::Rng& rng,
+    std::span<const ResolvedRequest> requests, mathx::Rng& rng,
     const BatchOptions& options) const {
   const int threads = resolve_batch_threads(options, requests.size());
   return submit_ranging_batch(session_pool(threads), source_, pipeline_,
                               calibration_, requests, rng);
 }
 
-LocateOutcome ChronosEngine::locate(
+BatchHandle ChronosEngine::submit_batch(
+    std::span<const chronos::RangingRequest> requests, mathx::Rng& rng,
+    const BatchOptions& options) const {
+  const int threads = resolve_batch_threads(options, requests.size());
+  auto session = open_ranging_session(
+      session_pool(threads), source_, pipeline_, calibration_, rng,
+      std::numeric_limits<std::size_t>::max());
+  for (const auto& request : requests) {
+    auto resolved = source_->resolve(request);
+    if (resolved.ok()) {
+      (void)session.submit_resolved(std::move(resolved).value());
+    } else {
+      (void)session.push_failed(resolved.status());
+    }
+  }
+  const int threads_used = static_cast<int>(std::min<std::size_t>(
+      static_cast<std::size_t>(session.threads()),
+      std::max<std::size_t>(1, requests.size())));
+  return make_batch_handle(std::move(session), threads_used);
+}
+
+RangingSession ChronosEngine::open_session(mathx::Rng& rng,
+                                           const SessionOptions& options)
+    const {
+  CHRONOS_EXPECTS(options.threads >= 0, "session threads must be >= 0");
+  const int threads =
+      options.threads == 0
+          ? static_cast<int>(WorkerPool::default_thread_count())
+          : options.threads;
+  return open_ranging_session(session_pool(threads), source_, pipeline_,
+                              calibration_, rng, options.queue_depth);
+}
+
+// ------------------------------------------------------------ localization
+
+LocateOutcome ChronosEngine::locate_resolved(
     const sim::Device& tx, const sim::Device& rx, mathx::Rng& rng,
     const std::optional<geom::Vec2>& hint, const BatchOptions& options) const {
-  CHRONOS_EXPECTS(rx.antennas.size() >= 2,
-                  "localization needs a receiver with >= 2 antennas");
-
   // The tx-major pair loop is a thin client of the batched runtime:
-  // enumerate every (tx antenna, rx antenna) pair as a RangingRequest and
-  // let the pool range them.
-  std::vector<RangingRequest> requests;
+  // enumerate every (tx antenna, rx antenna) pair as a request and let the
+  // pool range them.
+  std::vector<ResolvedRequest> requests;
   requests.reserve(tx.antennas.size() * rx.antennas.size());
   for (std::size_t ta = 0; ta < tx.antennas.size(); ++ta) {
     for (std::size_t ra = 0; ra < rx.antennas.size(); ++ra) {
       requests.push_back({tx, ta, rx, ra});
     }
   }
-  BatchResult batch = measure_batch(requests, rng, options);
+  BatchResult batch =
+      measure_batch(std::span<const ResolvedRequest>(requests), rng, options);
 
   LocateOutcome out;
   out.details = std::move(batch.results);
@@ -159,8 +306,40 @@ LocateOutcome ChronosEngine::locate(
   return out;
 }
 
+chronos::Result<LocateOutcome> ChronosEngine::locate(
+    chronos::NodeId tx, chronos::NodeId rx, mathx::Rng& rng,
+    const std::optional<geom::Vec2>& hint, const BatchOptions& options) const {
+  if (!source_->has_geometry()) {
+    return chronos::Status{
+        chronos::StatusCode::kUnavailable,
+        "backend '" + source_->backend_name() +
+            "' carries no antenna geometry; localization needs it"};
+  }
+  const auto resolved = source_->resolve({{tx, 0}, {rx, 0}});
+  if (!resolved.ok()) return resolved.status();
+  if (resolved.value().rx.antennas.size() < 2) {
+    return chronos::Status{
+        chronos::StatusCode::kInvalidArgument,
+        "localization needs a receiver with >= 2 antennas"};
+  }
+  return locate_resolved(resolved.value().tx, resolved.value().rx, rng, hint,
+                         options);
+}
+
+LocateOutcome ChronosEngine::locate(const sim::Device& tx,
+                                    const sim::Device& rx, mathx::Rng& rng,
+                                    const std::optional<geom::Vec2>& hint,
+                                    const BatchOptions& options) const {
+  // Deprecated shim: register + range the devices it was handed.
+  CHRONOS_EXPECTS(rx.antennas.size() >= 2,
+                  "localization needs a receiver with >= 2 antennas");
+  ensure_registered(tx);
+  ensure_registered(rx);
+  return locate_resolved(tx, rx, rng, hint, options);
+}
+
 std::vector<LocateOutcome> ChronosEngine::locate_batch(
-    std::span<const LocateRequest> requests, mathx::Rng& rng,
+    std::span<const ResolvedLocateRequest> requests, mathx::Rng& rng,
     const BatchOptions& options) const {
   const mathx::Rng base = rng.fork(kLocateBatchTag);
   const int threads = resolve_batch_threads(options, requests.size());
@@ -184,11 +363,33 @@ std::vector<LocateOutcome> ChronosEngine::locate_batch(
   return parallel_map_on(*session_pool(threads), requests.size(), process);
 }
 
-const sim::LinkSimulator& ChronosEngine::link() const {
-  const auto* sim_source = dynamic_cast<const SimSweepSource*>(source_.get());
-  CHRONOS_EXPECTS(sim_source != nullptr,
-                  "link() is only available on simulator-backed engines");
-  return sim_source->link();
+std::vector<LocateOutcome> ChronosEngine::locate_batch(
+    std::span<const chronos::LocateRequest> requests, mathx::Rng& rng,
+    const BatchOptions& options) const {
+  const mathx::Rng base = rng.fork(kLocateBatchTag);
+  const int threads = resolve_batch_threads(options, requests.size());
+
+  // Same job structure as the resolved overload, with per-request
+  // resolution folded into the job: a request that fails to resolve
+  // yields an outcome carrying the status (its split stream goes unused —
+  // neighbours are unaffected).
+  auto process = [&](std::size_t i) {
+    mathx::Rng child = base.split(static_cast<std::uint64_t>(i));
+    auto out = locate(requests[i].tx, requests[i].rx, child,
+                      requests[i].hint, BatchOptions{1});
+    if (out.ok()) return std::move(out).value();
+    LocateOutcome failed;
+    failed.status = out.status();
+    return failed;
+  };
+
+  if (threads <= 1) {
+    std::vector<LocateOutcome> out;
+    out.reserve(requests.size());
+    for (std::size_t i = 0; i < requests.size(); ++i) out.push_back(process(i));
+    return out;
+  }
+  return parallel_map_on(*session_pool(threads), requests.size(), process);
 }
 
 }  // namespace chronos::core

@@ -1,17 +1,26 @@
-// ChronosEngine: the highest-level public API.
+// ChronosEngine: the engine-level API behind the chronos:: facade.
 //
 // Wires a measurement substrate (any core::SweepSource backend — the
 // channel simulator standing in for a pair of Intel 5300 cards, a recorded
 // trace, ...) to the estimation pipeline, and exposes the operations the
 // paper's applications use:
 //   * calibrate()        one-time known-distance hardware calibration (§7)
-//   * measure_distance() sub-ns ToF + distance between two antennas (§4-7)
+//   * measure()          sub-ns ToF + distance for one id-based request
 //   * measure_batch()    many antenna pairs ranged concurrently (batched
 //                        runtime, core/batch.hpp)
 //   * submit_batch()     same, asynchronously: returns a BatchHandle so the
 //                        caller can pipeline ingestion
+//   * open_session()     streaming submission with a bounded queue
+//                        (core/session.hpp) — the v2 flow-control surface
 //   * locate()           device-to-device relative localization (§8)
 //   * locate_batch()     many localizations ranged concurrently
+//
+// API v2: public requests carry chronos::NodeId identities which the
+// backend's registry resolves; request-shaped failures come back as
+// chronos::Status / Result values. The pre-v2 sim::Device overloads remain
+// as deprecated shims that register their devices with the backend
+// directory and forward through the id-based path — bit-identical results,
+// enforced by tests/test_core_api.cpp.
 //
 // Threading model: every const method is safe to call concurrently from
 // multiple threads, provided each caller supplies its own mathx::Rng. The
@@ -34,10 +43,12 @@
 #include <span>
 #include <vector>
 
+#include "core/api.hpp"
 #include "core/batch.hpp"
 #include "core/calibration.hpp"
 #include "core/localization.hpp"
 #include "core/ranging.hpp"
+#include "core/session.hpp"
 #include "core/sweep_source.hpp"
 #include "mathx/rng.hpp"
 
@@ -45,8 +56,9 @@ namespace chronos::core {
 
 struct EngineConfig {
   /// Simulator backend configuration; only consulted by the
-  /// (Environment, EngineConfig) constructor. Engines built on an explicit
-  /// SweepSource take their band plan from the source instead.
+  /// (Environment, EngineConfig) constructor and as the fixture sweep plan
+  /// for calibrate(). Engines built on an explicit SweepSource take their
+  /// band plan from the source instead.
   sim::LinkSimConfig link;
   RangingConfig ranging;
   /// Sweeps averaged during calibration.
@@ -55,18 +67,9 @@ struct EngineConfig {
   double calibration_distance_m = 3.0;
 };
 
-struct LocateOutcome {
-  LocalizationResult result;
-  /// Raw ranges of the *first* TX antenna to each RX anchor.
-  std::vector<double> antenna_distances_m;
-  /// Full pipeline output per (tx antenna, rx antenna) pair, tx-major.
-  std::vector<RangingResult> details;
-  /// Per-TX-antenna position estimates (paper §8: a multi-antenna
-  /// transmitter contributes one trilateration per antenna; the combined
-  /// estimate is their component-wise median, which also votes down a
-  /// mirror-flipped member).
-  std::vector<LocalizationResult> per_tx_antenna;
-};
+/// The public outcome type lives on the facade (core/api.hpp).
+using LocateOutcome = chronos::LocateOutcome;
+using SessionOptions = chronos::SessionOptions;
 
 class ChronosEngine {
  public:
@@ -83,10 +86,27 @@ class ChronosEngine {
   explicit ChronosEngine(std::shared_ptr<const SweepSource> source,
                          EngineConfig config = {});
 
-  /// Builds and stores the calibration table for this device pair. Must be
-  /// called once before measurements whenever chain effects are enabled.
-  /// Always runs on a simulated anechoic fixture (the a-priori bench
-  /// calibration of the paper) — backend-independent by construction.
+  // ------------------------------------------------------------- directory
+
+  /// The backend's node directory (the source implements it).
+  const chronos::NodeRegistry& registry() const { return *source_; }
+
+  /// The measurement backend this engine ranges against.
+  const SweepSource& source() const { return *source_; }
+
+  // ----------------------------------------------------------- calibration
+
+  /// Fixture calibration of a registered node pair: resolves both ids,
+  /// then runs the a-priori bench calibration (simulated anechoic fixture
+  /// at the configured known distance). kUnknownNode for unregistered ids;
+  /// kUnavailable on backends without device descriptions (install a
+  /// recorded table via set_calibration instead).
+  chronos::Status calibrate(chronos::NodeId tx, chronos::NodeId rx,
+                            mathx::Rng& rng);
+
+  /// Deprecated shim (pre-v2): registers both devices with the backend
+  /// directory (simulator backends) and calibrates the pair directly.
+  /// Prefer calibrate(NodeId, NodeId, rng).
   void calibrate(const sim::Device& tx, const sim::Device& rx,
                  mathx::Rng& rng);
 
@@ -94,37 +114,86 @@ class ChronosEngine {
   /// a trace, or built offline with calibrate_from_sweeps).
   void set_calibration(CalibrationTable calibration);
 
-  /// Time-of-flight / distance between one TX antenna and one RX antenna.
+  // --------------------------------------------------------------- ranging
+
+  /// Time-of-flight / distance for one id-based request: resolution
+  /// failures (unknown node, antenna out of range, unrecorded link) come
+  /// back as the Status — never as an exception.
+  chronos::Result<RangingResult> measure(
+      const chronos::RangingRequest& request, mathx::Rng& rng) const;
+
+  /// The raw calibrated sweep `request` would measure — for recording
+  /// campaigns (phy::save_sweep) and diagnostics. Draws from `rng` exactly
+  /// like measure() does before estimation.
+  chronos::Result<phy::SweepMeasurement> capture_sweep(
+      const chronos::RangingRequest& request, mathx::Rng& rng) const;
+
+  /// Runs the estimation pipeline on an externally produced sweep using
+  /// this engine's calibration (kMalformedSweep / kBandMismatch when the
+  /// sweep does not fit the pipeline's band plan).
+  chronos::Result<RangingResult> estimate(
+      const phy::SweepMeasurement& sweep) const;
+
+  /// Deprecated shim (pre-v2): registers both devices with the backend
+  /// directory and forwards through the id-based path; throws
+  /// std::invalid_argument on failure statuses (the pre-v2 behavior).
+  /// Prefer measure().
   RangingResult measure_distance(const sim::Device& tx, std::size_t tx_antenna,
                                  const sim::Device& rx, std::size_t rx_antenna,
                                  mathx::Rng& rng) const;
 
-  /// Ranges every request on the persistent session pool. Bit-reproducible:
-  /// the results depend only on (engine, requests, rng state) — never on
-  /// thread count or scheduling. Advances `rng` by exactly one fork().
-  /// `options.threads <= 1` runs inline on the calling thread; larger
-  /// values ensure the session pool has at least that many workers
-  /// (BatchResult::threads_used reports the workers actually available,
-  /// which can exceed the request if an earlier batch grew the pool).
-  BatchResult measure_batch(std::span<const RangingRequest> requests,
+  // --------------------------------------------------------------- batches
+
+  /// Ranges every id-based request on the persistent session pool.
+  /// Bit-reproducible: the results depend only on (engine, requests, rng
+  /// state) — never on thread count or scheduling. Advances `rng` by
+  /// exactly one fork(). Per-request failures (including resolution
+  /// failures) land in results[i].status, index-aligned with `requests`.
+  BatchResult measure_batch(std::span<const chronos::RangingRequest> requests,
                             mathx::Rng& rng,
                             const BatchOptions& options = {}) const;
 
-  /// Async variant: enqueues the batch on the session pool and returns a
-  /// future-style handle immediately, so callers can submit the next batch
-  /// (or do unrelated work) while this one ranges. Identical determinism
-  /// contract and rng advancement as measure_batch — submitting then
-  /// get()ing is bit-identical to the synchronous call, for any thread
-  /// count and any interleaving of outstanding handles.
-  BatchHandle submit_batch(std::span<const RangingRequest> requests,
+  /// Engine-internal/batch-compat overload over resolved requests.
+  BatchResult measure_batch(std::span<const ResolvedRequest> requests,
+                            mathx::Rng& rng,
+                            const BatchOptions& options = {}) const;
+
+  /// Async variant: admits the batch to a session on the pool and returns
+  /// a future-style handle immediately, so callers can submit the next
+  /// batch (or do unrelated work) while this one ranges. Identical
+  /// determinism contract and rng advancement as measure_batch —
+  /// submitting then get()ing is bit-identical to the synchronous call,
+  /// for any thread count and any interleaving of outstanding handles.
+  BatchHandle submit_batch(std::span<const chronos::RangingRequest> requests,
+                           mathx::Rng& rng,
+                           const BatchOptions& options = {}) const;
+  BatchHandle submit_batch(std::span<const ResolvedRequest> requests,
                            mathx::Rng& rng,
                            const BatchOptions& options = {}) const;
 
+  /// Opens a bounded-queue streaming session on the persistent pool (the
+  /// v2 flow-control surface; core/session.hpp). Forks `rng` once: a
+  /// session fed requests one at a time is bit-identical to measure_batch
+  /// over the same requests on the same rng state.
+  RangingSession open_session(mathx::Rng& rng,
+                              const SessionOptions& options = {}) const;
+
+  // ---------------------------------------------------------- localization
+
   /// Full device-to-device localization: ranges every TX antenna against
   /// every RX antenna (tx-major, via the batched runtime) and trilaterates
-  /// in the RX's frame (absolute floor-plan coordinates when the backend
-  /// knows antenna positions). `options` sizes the worker fan-out; results
-  /// are identical for every setting.
+  /// in the RX's frame. Requires a backend with node geometry and a
+  /// receiver with >= 2 antennas — failures come back in the Status.
+  /// `options` sizes the worker fan-out; results are identical for every
+  /// setting.
+  chronos::Result<LocateOutcome> locate(
+      chronos::NodeId tx, chronos::NodeId rx, mathx::Rng& rng,
+      const std::optional<geom::Vec2>& hint = std::nullopt,
+      const BatchOptions& options = {}) const;
+
+  /// Deprecated shim (pre-v2): registers both devices and forwards through
+  /// the id-based path; throws std::invalid_argument on failure statuses.
+  /// Prefer locate(NodeId, ...).
   LocateOutcome locate(const sim::Device& tx, const sim::Device& rx,
                        mathx::Rng& rng,
                        const std::optional<geom::Vec2>& hint = std::nullopt,
@@ -133,36 +202,46 @@ class ChronosEngine {
   /// Runs many independent localizations concurrently, one pool job per
   /// request (each job's pair sweep runs inline within it). Request i
   /// draws from its own split stream, so results are bit-identical for
-  /// every thread count and equal `locate()` on that stream. Advances `rng`
-  /// by exactly one fork().
+  /// every thread count and equal `locate()` on that stream. Advances
+  /// `rng` by exactly one fork(). Per-request failures land in
+  /// outcome[i].status.
   std::vector<LocateOutcome> locate_batch(
-      std::span<const LocateRequest> requests, mathx::Rng& rng,
+      std::span<const chronos::LocateRequest> requests, mathx::Rng& rng,
       const BatchOptions& options = {}) const;
+
+  /// Resolved-device overload (pre-v2 compat and engine-internal use).
+  std::vector<LocateOutcome> locate_batch(
+      std::span<const ResolvedLocateRequest> requests, mathx::Rng& rng,
+      const BatchOptions& options = {}) const;
+
+  // ----------------------------------------------------------- diagnostics
 
   const CalibrationTable& calibration() const { return *calibration_; }
   const RangingPipeline& pipeline() const { return *pipeline_; }
 
-  /// The measurement backend this engine ranges against.
-  const SweepSource& source() const { return *source_; }
-
   /// Size of the persistent session pool (0 until a batched call first
   /// needs parallelism). Diagnostics only — never affects results.
   std::size_t session_threads() const;
-
-  /// The wrapped simulator — only meaningful for simulator-backed engines;
-  /// throws std::invalid_argument when the backend is not a SimSweepSource.
-  /// Deprecated: the engine is backend-generic now, so new code should use
-  /// source() (and downcast explicitly if it truly needs sim internals).
-  [[deprecated(
-      "ChronosEngine is backend-generic; use source() instead of assuming a "
-      "simulator backend")]]
-  const sim::LinkSimulator& link() const;
 
  private:
   /// Returns the session pool, lazily started / grown to >= `threads`
   /// workers. Thread-safe; callers receive a shared reference so a
   /// concurrent grow can never destroy a pool under a running batch.
   std::shared_ptr<WorkerPool> session_pool(int threads) const;
+
+  /// Registers Device-overload shim arguments with a writable backend
+  /// directory (no-op on backends whose directory is fixed).
+  void ensure_registered(const sim::Device& device) const;
+
+  /// The calibration fixture shared by both calibrate() overloads.
+  void calibrate_resolved(const sim::Device& tx, const sim::Device& rx,
+                          mathx::Rng& rng);
+
+  /// The localization pipeline shared by every locate entry point.
+  LocateOutcome locate_resolved(const sim::Device& tx, const sim::Device& rx,
+                                mathx::Rng& rng,
+                                const std::optional<geom::Vec2>& hint,
+                                const BatchOptions& options) const;
 
   EngineConfig config_;
   std::shared_ptr<const SweepSource> source_;

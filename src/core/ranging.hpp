@@ -14,6 +14,7 @@
 #include "core/combining.hpp"
 #include "core/ndft.hpp"
 #include "core/profile.hpp"
+#include "mathx/status.hpp"
 #include "phy/csi.hpp"
 #include "phy/detection.hpp"
 
@@ -87,6 +88,10 @@ struct PeakCandidate {
 };
 
 struct RangingResult {
+  /// API v2: request-shaped failures (unknown node, unrecorded trace link,
+  /// malformed sweep, ...) land here instead of aborting a batch; the
+  /// estimate fields below are meaningful only when status.ok().
+  chronos::Status status;
   double tof_s = 0.0;
   double distance_m = 0.0;
   MultipathProfile profile;        ///< on the u axis (u = scale * tau)

@@ -1,0 +1,277 @@
+#include "core/session.hpp"
+
+#include <condition_variable>
+#include <exception>
+#include <map>
+#include <mutex>
+#include <utility>
+
+#include "core/worker_pool.hpp"
+#include "mathx/contracts.hpp"
+
+namespace chronos::core {
+
+namespace {
+
+/// What the per-ticket jobs co-own. Deliberately does NOT reference the
+/// pool — a worker thread may drop the last reference, and it must never
+/// end up destroying (and thus self-joining) its own pool. The pool is
+/// held caller-side by RangingSession::State (and by any BatchHandle).
+struct Shared {
+  const mathx::Rng base;
+  const std::shared_ptr<const SweepSource> source;
+  const std::shared_ptr<const RangingPipeline> pipeline;
+  const std::shared_ptr<const CalibrationTable> calibration;
+
+  mutable std::mutex mutex;
+  mutable std::condition_variable cv;
+  std::uint64_t submitted = 0;  ///< tickets issued
+  std::uint64_t finished = 0;   ///< tickets whose result is in `done`/collected
+  std::uint64_t collected = 0;  ///< tickets returned to the caller
+  std::map<std::uint64_t, RangingResult> done;  ///< finished, uncollected
+
+  Shared(mathx::Rng b, std::shared_ptr<const SweepSource> src,
+         std::shared_ptr<const RangingPipeline> pipe,
+         std::shared_ptr<const CalibrationTable> cal)
+      : base(std::move(b)),
+        source(std::move(src)),
+        pipeline(std::move(pipe)),
+        calibration(std::move(cal)) {}
+};
+
+/// Ranges one resolved request on ticket `ticket`'s split stream. All
+/// request-shaped failures land in the result's status; anything thrown is
+/// a library defect, captured as kInternal so one bad job cannot poison
+/// the pool or the session.
+RangingResult range_one(const Shared& shared, std::uint64_t ticket,
+                        const ResolvedRequest& request) {
+  RangingResult result;
+  try {
+    mathx::Rng child = shared.base.split(ticket);
+    auto sweep = shared.source->sweep_for(request, child);
+    if (!sweep.ok()) {
+      result.status = sweep.status();
+      return result;
+    }
+    result = shared.pipeline->estimate(sweep.value(), *shared.calibration);
+  } catch (const std::exception& e) {
+    result = RangingResult{};
+    result.status = {chronos::StatusCode::kInternal, e.what()};
+  } catch (...) {
+    result = RangingResult{};
+    result.status = {chronos::StatusCode::kInternal,
+                     "non-exception throw while ranging"};
+  }
+  return result;
+}
+
+void complete(const std::shared_ptr<Shared>& shared, std::uint64_t ticket,
+              RangingResult result) {
+  std::lock_guard<std::mutex> lock(shared->mutex);
+  shared->done.emplace(ticket, std::move(result));
+  ++shared->finished;
+  shared->cv.notify_all();
+}
+
+}  // namespace
+
+struct RangingSession::State {
+  std::shared_ptr<Shared> shared;
+  std::shared_ptr<WorkerPool> pool;  ///< caller-side ownership only
+  std::size_t depth = 1;
+};
+
+std::size_t RangingSession::queue_depth() const {
+  CHRONOS_EXPECTS(state_ != nullptr, "queue_depth() on an invalid session");
+  return state_->depth;
+}
+
+int RangingSession::threads() const {
+  CHRONOS_EXPECTS(state_ != nullptr, "threads() on an invalid session");
+  return static_cast<int>(state_->pool->size());
+}
+
+chronos::Result<std::uint64_t> RangingSession::try_submit(
+    const chronos::RangingRequest& request) {
+  CHRONOS_EXPECTS(state_ != nullptr, "try_submit() on an invalid session");
+  auto queue_full = [this] {
+    return chronos::Status{
+        chronos::StatusCode::kQueueFull,
+        "submission queue at depth " + std::to_string(state_->depth) +
+            "; collect results and resubmit"};
+  };
+  // Capacity first, resolution second: rejection is the hot path of a
+  // saturating producer, and it must not pay a directory lookup (plus two
+  // device copies) just to throw the result away. try_submit_resolved
+  // re-checks under the lock, so a concurrent producer sneaking in
+  // between the two checks still cannot overfill the queue.
+  {
+    std::lock_guard<std::mutex> lock(state_->shared->mutex);
+    if (state_->shared->submitted - state_->shared->finished >=
+        state_->depth) {
+      return queue_full();
+    }
+  }
+  auto resolved = state_->shared->source->resolve(request);
+  if (!resolved.ok()) return resolved.status();
+  const auto ticket = try_submit_resolved(std::move(resolved).value());
+  if (!ticket) return queue_full();
+  return *ticket;
+}
+
+chronos::Result<std::uint64_t> RangingSession::submit(
+    const chronos::RangingRequest& request) {
+  CHRONOS_EXPECTS(state_ != nullptr, "submit() on an invalid session");
+  auto resolved = state_->shared->source->resolve(request);
+  if (!resolved.ok()) return resolved.status();
+  return submit_resolved(std::move(resolved).value());
+}
+
+std::optional<std::uint64_t> RangingSession::try_submit_resolved(
+    const ResolvedRequest& request) {
+  CHRONOS_EXPECTS(state_ != nullptr, "try_submit() on an invalid session");
+  auto& shared = *state_->shared;
+  std::uint64_t ticket = 0;
+  {
+    std::lock_guard<std::mutex> lock(shared.mutex);
+    if (shared.submitted - shared.finished >= state_->depth) {
+      return std::nullopt;
+    }
+    ticket = shared.submitted++;
+  }
+  auto payload = state_->shared;
+  (void)state_->pool->submit([payload, ticket, request]() {
+    complete(payload, ticket, range_one(*payload, ticket, request));
+  });
+  return ticket;
+}
+
+std::uint64_t RangingSession::submit_resolved(const ResolvedRequest& request) {
+  CHRONOS_EXPECTS(state_ != nullptr, "submit() on an invalid session");
+  auto& shared = *state_->shared;
+  std::uint64_t ticket = 0;
+  {
+    std::unique_lock<std::mutex> lock(shared.mutex);
+    shared.cv.wait(lock, [&] {
+      return shared.submitted - shared.finished < state_->depth;
+    });
+    ticket = shared.submitted++;
+  }
+  auto payload = state_->shared;
+  (void)state_->pool->submit([payload, ticket, request]() {
+    complete(payload, ticket, range_one(*payload, ticket, request));
+  });
+  return ticket;
+}
+
+std::uint64_t RangingSession::push_failed(chronos::Status status) {
+  CHRONOS_EXPECTS(state_ != nullptr, "push_failed() on an invalid session");
+  CHRONOS_EXPECTS(!status.ok(), "push_failed() needs a non-ok status");
+  auto& shared = *state_->shared;
+  RangingResult result;
+  result.status = std::move(status);
+  std::lock_guard<std::mutex> lock(shared.mutex);
+  const auto ticket = shared.submitted++;
+  shared.done.emplace(ticket, std::move(result));
+  ++shared.finished;
+  shared.cv.notify_all();
+  return ticket;
+}
+
+std::size_t RangingSession::submitted() const {
+  CHRONOS_EXPECTS(state_ != nullptr, "submitted() on an invalid session");
+  std::lock_guard<std::mutex> lock(state_->shared->mutex);
+  return state_->shared->submitted;
+}
+
+std::size_t RangingSession::in_flight() const {
+  CHRONOS_EXPECTS(state_ != nullptr, "in_flight() on an invalid session");
+  std::lock_guard<std::mutex> lock(state_->shared->mutex);
+  return state_->shared->submitted - state_->shared->finished;
+}
+
+std::size_t RangingSession::collected() const {
+  CHRONOS_EXPECTS(state_ != nullptr, "collected() on an invalid session");
+  std::lock_guard<std::mutex> lock(state_->shared->mutex);
+  return state_->shared->collected;
+}
+
+bool RangingSession::all_done() const {
+  CHRONOS_EXPECTS(state_ != nullptr, "all_done() on an invalid session");
+  std::lock_guard<std::mutex> lock(state_->shared->mutex);
+  return state_->shared->finished == state_->shared->submitted;
+}
+
+void RangingSession::wait_all() const {
+  CHRONOS_EXPECTS(state_ != nullptr, "wait_all() on an invalid session");
+  auto& shared = *state_->shared;
+  std::unique_lock<std::mutex> lock(shared.mutex);
+  shared.cv.wait(lock, [&] { return shared.finished == shared.submitted; });
+}
+
+bool RangingSession::next_ready() const {
+  CHRONOS_EXPECTS(state_ != nullptr, "next_ready() on an invalid session");
+  std::lock_guard<std::mutex> lock(state_->shared->mutex);
+  return state_->shared->done.contains(state_->shared->collected);
+}
+
+RangingResult RangingSession::next() {
+  CHRONOS_EXPECTS(state_ != nullptr, "next() on an invalid session");
+  auto& shared = *state_->shared;
+  std::unique_lock<std::mutex> lock(shared.mutex);
+  CHRONOS_EXPECTS(shared.collected < shared.submitted,
+                  "next() with every submitted result already collected");
+  const auto ticket = shared.collected;
+  shared.cv.wait(lock, [&] { return shared.done.contains(ticket); });
+  auto node = shared.done.extract(ticket);
+  ++shared.collected;
+  // A slot may have freed for a blocked submit(); results leaving the
+  // buffer never free slots (depth bounds unfinished work), but waking
+  // submitters here is harmless and keeps the logic obviously live.
+  shared.cv.notify_all();
+  return std::move(node.mapped());
+}
+
+std::vector<RangingResult> RangingSession::drain() {
+  CHRONOS_EXPECTS(state_ != nullptr, "drain() on an invalid session");
+  std::uint64_t target = 0;
+  {
+    std::lock_guard<std::mutex> lock(state_->shared->mutex);
+    target = state_->shared->submitted;
+  }
+  std::vector<RangingResult> out;
+  out.reserve(static_cast<std::size_t>(target));
+  while (true) {
+    {
+      std::lock_guard<std::mutex> lock(state_->shared->mutex);
+      if (state_->shared->collected >= target) break;
+    }
+    out.push_back(next());
+  }
+  return out;
+}
+
+RangingSession open_ranging_session(
+    std::shared_ptr<WorkerPool> pool, std::shared_ptr<const SweepSource> source,
+    std::shared_ptr<const RangingPipeline> pipeline,
+    std::shared_ptr<const CalibrationTable> calibration, mathx::Rng& rng,
+    std::size_t queue_depth) {
+  CHRONOS_EXPECTS(pool != nullptr, "a session needs a worker pool");
+  CHRONOS_EXPECTS(source != nullptr && pipeline != nullptr &&
+                      calibration != nullptr,
+                  "a session needs a source, pipeline, and calibration");
+  CHRONOS_EXPECTS(queue_depth >= 1, "queue depth must be >= 1");
+
+  auto state = std::make_shared<RangingSession::State>();
+  state->shared = std::make_shared<Shared>(
+      rng.fork(kBatchStreamTag), std::move(source), std::move(pipeline),
+      std::move(calibration));
+  state->pool = std::move(pool);
+  state->depth = queue_depth;
+
+  RangingSession session;
+  session.state_ = std::move(state);
+  return session;
+}
+
+}  // namespace chronos::core

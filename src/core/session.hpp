@@ -1,0 +1,130 @@
+// Bounded-queue streaming submission onto a persistent worker pool.
+//
+// `RangingSession` is the primitive the v2 ingestion surface is built on:
+// requests are admitted one at a time (ticketed 0, 1, 2, ... in submission
+// order), ranged concurrently on the pool, and collected in ticket order.
+// Admission is bounded: at most `queue_depth` tickets may be in flight
+// (admitted but unfinished) at once — `try_submit` reports
+// chronos::kQueueFull immediately (never blocks, never drops silently),
+// `submit` blocks until a worker frees a slot. This is the backpressure
+// story for sustained async submission: a producer that outruns the
+// workers is told so, per request, instead of growing an unbounded queue.
+//
+// Determinism contract (same as core/batch.hpp, which is now a thin
+// adapter over this class): the session forks the caller's rng ONCE at
+// open; ticket i draws from fork.split(i). A result is therefore a pure
+// function of (source, pipeline, calibration, request, session stream,
+// ticket) — never of queue depth, scheduling, pool size, or collection
+// timing. Submitting a span through a session is bit-identical to
+// run_ranging_batch over the same span on the same rng state.
+//
+// Error model: request-shaped failures never throw. Id-based submissions
+// that fail resolution are rejected synchronously (no ticket consumed);
+// backend failures during ranging land in the per-ticket
+// RangingResult::status. Worker exceptions (programmer error) are
+// captured as kInternal rather than tearing down the pool.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/calibration.hpp"
+#include "core/ranging.hpp"
+#include "core/sweep_source.hpp"
+#include "mathx/rng.hpp"
+#include "mathx/status.hpp"
+
+namespace chronos::core {
+
+class WorkerPool;
+
+/// fork() tag for a session/batch base stream ("batch" in ASCII). One
+/// shared constant so every ingestion path — sync batch, async batch,
+/// streaming session — advances the caller's rng identically.
+inline constexpr std::uint64_t kBatchStreamTag = 0x6261746368ull;
+
+class RangingSession {
+ public:
+  /// Invalid session; obtain real ones from open_ranging_session or
+  /// ChronosEngine::open_session.
+  RangingSession() = default;
+  RangingSession(RangingSession&&) noexcept = default;
+  RangingSession& operator=(RangingSession&&) noexcept = default;
+
+  /// Outstanding jobs keep running after the session dies (they own their
+  /// payload); uncollected results are dropped.
+  ~RangingSession() = default;
+
+  RangingSession(const RangingSession&) = delete;
+  RangingSession& operator=(const RangingSession&) = delete;
+
+  bool valid() const { return state_ != nullptr; }
+  std::size_t queue_depth() const;
+  /// Workers available to this session (diagnostics).
+  int threads() const;
+
+  /// Admits `request` if the queue has room NOW: the ticket, or kQueueFull
+  /// (nothing enqueued — resubmit later), or the resolution failure.
+  /// Never blocks. Capacity is checked BEFORE resolution (rejection is
+  /// the hot path of a saturating producer), so a full queue reports
+  /// kQueueFull even for requests that would not resolve.
+  chronos::Result<std::uint64_t> try_submit(
+      const chronos::RangingRequest& request);
+
+  /// Like try_submit, but blocks until a slot frees. Resolution failures
+  /// return without blocking. Must not be called from a pool worker (a
+  /// full queue would then deadlock against itself).
+  chronos::Result<std::uint64_t> submit(const chronos::RangingRequest& request);
+
+  /// Pre-resolved admission (the engine/batch adapters): blocking.
+  std::uint64_t submit_resolved(const ResolvedRequest& request);
+  /// Pre-resolved admission: non-blocking; nullopt when the queue is full.
+  std::optional<std::uint64_t> try_submit_resolved(
+      const ResolvedRequest& request);
+
+  /// Claims the next ticket for a request that failed before admission
+  /// (e.g. resolution failure inside a batch): its result is immediately
+  /// complete, carrying `status`. Keeps batch results index-aligned with
+  /// their requests without disturbing the split streams of neighbours.
+  std::uint64_t push_failed(chronos::Status status);
+
+  std::size_t submitted() const;
+  /// Admitted but unfinished — what queue_depth bounds.
+  std::size_t in_flight() const;
+  std::size_t collected() const;
+  bool all_done() const;
+  void wait_all() const;
+
+  /// True when next() would return without blocking.
+  bool next_ready() const;
+  /// Blocks until the next in-order ticket finishes, then returns its
+  /// result. Precondition: collected() < submitted().
+  RangingResult next();
+  /// Collects every remaining result in ticket order (blocks until done).
+  std::vector<RangingResult> drain();
+
+ private:
+  friend RangingSession open_ranging_session(
+      std::shared_ptr<WorkerPool> pool,
+      std::shared_ptr<const SweepSource> source,
+      std::shared_ptr<const RangingPipeline> pipeline,
+      std::shared_ptr<const CalibrationTable> calibration, mathx::Rng& rng,
+      std::size_t queue_depth);
+
+  struct State;
+  std::shared_ptr<State> state_;
+};
+
+/// Opens a session: forks `rng` once (kBatchStreamTag) and shares ownership
+/// of everything a job touches, so the session — like a BatchHandle — stays
+/// collectable after the issuing engine dies. `queue_depth >= 1`.
+RangingSession open_ranging_session(
+    std::shared_ptr<WorkerPool> pool, std::shared_ptr<const SweepSource> source,
+    std::shared_ptr<const RangingPipeline> pipeline,
+    std::shared_ptr<const CalibrationTable> calibration, mathx::Rng& rng,
+    std::size_t queue_depth);
+
+}  // namespace chronos::core

@@ -4,84 +4,141 @@
 // sweep comes from — a channel simulator standing in for two Intel 5300
 // cards, a recorded trace captured with the Linux 802.11n CSI Tool, or some
 // future live-capture transport — is a backend detail. `SweepSource` is that
-// seam: a const-thread-safe interface that yields the calibrated per-band
-// sweep for one RangingRequest, with all randomness drawn from the caller's
-// rng so the batched runtime's determinism contract (core/batch.hpp) holds
-// for every backend.
+// seam: a const-thread-safe interface that (a) implements the public
+// chronos::NodeRegistry directory, (b) resolves id-based public requests
+// into backend-internal ResolvedRequests, and (c) yields the calibrated
+// per-band sweep for one resolved request, with all randomness drawn from
+// the caller's rng so the batched runtime's determinism contract
+// (core/batch.hpp) holds for every backend.
+//
+// Error model (API v2): request-shaped failures — unknown node, antenna out
+// of range, unrecorded trace link, band mismatch — are reported as
+// chronos::Status / Result values, never exceptions. Exceptions from a
+// backend indicate programmer error.
 //
 // Two concrete backends ship here:
-//   * SimSweepSource    wraps sim::LinkSimulator — bit-identical to calling
-//                       the simulator directly (the pre-seam behavior);
+//   * SimSweepSource    wraps sim::LinkSimulator and a writable node
+//                       directory — bit-identical sweeps to calling the
+//                       simulator directly (the pre-seam behavior);
 //   * TraceSweepSource  replays recorded phy::csi_io sweeps keyed by
-//                       (tx device, tx antenna, rx device, rx antenna),
-//                       which makes recorded-trace end-to-end ranging a
-//                       first-class workload.
+//                       (tx node, tx antenna, rx node, rx antenna); its
+//                       directory is derived from the recorded keys.
 #pragma once
 
 #include <compare>
 #include <cstddef>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
+#include "core/api.hpp"
 #include "mathx/rng.hpp"
+#include "mathx/status.hpp"
 #include "phy/csi.hpp"
 #include "sim/link.hpp"
 
 namespace chronos::core {
 
-/// One unit of ranging work: which antenna of which device ranges against
-/// which antenna of which other device. `sim::Device` doubles as the
-/// backend-neutral device description (antenna layout + radio personality +
-/// `hardware_seed` identity); trace backends key on the identity, simulator
-/// backends consume the full description.
-struct RangingRequest {
+/// A public id-based RangingRequest after backend resolution: full device
+/// descriptions plus antenna selection — everything a backend needs to
+/// produce the sweep. For the simulator this carries the registered
+/// device; trace backends synthesize a minimal description (identity +
+/// antenna arity) because replay needs no geometry or radio personality.
+///
+/// This is the engine-internal unit of work (PR <= 4 exposed it as the
+/// public `core::RangingRequest`); new code submits chronos::RangingRequest
+/// ids and lets the backend resolve them.
+struct ResolvedRequest {
   sim::Device tx;
   std::size_t tx_antenna = 0;
   sim::Device rx;
   std::size_t rx_antenna = 0;
 };
 
-/// Backend interface: produces the multi-band sweep a request would measure.
+/// Backend interface: node directory + request resolution + sweep
+/// production.
 ///
 /// Contract (what the batched runtime and ChronosEngine rely on):
-///   * `sweep_for` is safe to call concurrently on one const instance —
-///     implementations hold no hidden mutable state and draw randomness
-///     exclusively from the caller-supplied `rng`;
-///   * the result is a pure function of (source, request, rng state), so
-///     worker scheduling can never change a bit of any RangingResult;
+///   * `sweep_for` / `resolve` and every NodeRegistry query are safe to
+///     call concurrently on one const instance — implementations hold no
+///     hidden mutable state and draw randomness exclusively from the
+///     caller-supplied `rng`. Backends whose directory can mutate through
+///     a const path (SimSweepSource::ensure_node) lock it internally;
+///     backends populated through non-const mutators (TraceSweepSource's
+///     add_sweep*) must finish population before concurrent ranging
+///     starts — the engine's shared_ptr<const> ownership enforces that
+///     shape naturally;
+///   * a sweep is a pure function of (source, resolved request, rng
+///     state), so worker scheduling can never change a bit of any
+///     RangingResult;
 ///   * `bands()` lists the bands every produced sweep covers, in sweep
 ///     order — exactly what RangingPipeline construction needs.
-class SweepSource {
+class SweepSource : public chronos::NodeRegistry {
  public:
-  virtual ~SweepSource() = default;
+  /// Resolves a public id-based request against this backend's directory:
+  /// kUnknownNode / kAntennaOutOfRange / kUnknownLink on failure.
+  virtual chronos::Result<ResolvedRequest> resolve(
+      const chronos::RangingRequest& request) const = 0;
 
-  /// The calibrated per-band sweep for `req`. Throws std::invalid_argument
-  /// when the request cannot be served (unknown antenna, unrecorded trace
-  /// key, ...); the batched runtime rethrows from the submitting caller.
-  virtual phy::SweepMeasurement sweep_for(const RangingRequest& req,
-                                          mathx::Rng& rng) const = 0;
+  /// The calibrated per-band sweep for `req`, or the Status explaining why
+  /// this backend cannot serve it. Implementations MUST validate `req`
+  /// and report unserveable requests as a Status — never crash or read
+  /// out of bounds: resolved requests are also built directly by the
+  /// deprecated Device shims, without passing through resolve().
+  virtual chronos::Result<phy::SweepMeasurement> sweep_for(
+      const ResolvedRequest& req, mathx::Rng& rng) const = 0;
 
   /// Bands every sweep from this source covers, in sweep order.
   virtual const std::vector<phy::WifiBand>& bands() const = 0;
+
+  /// True when resolved requests carry real antenna geometry (needed by
+  /// localization); false for backends that only know identities.
+  virtual bool has_geometry() const = 0;
 
   /// Stable human-readable backend identifier ("sim", "trace", ...), for
   /// diagnostics and logs.
   virtual std::string backend_name() const = 0;
 };
 
-/// The simulator backend: forwards every request to
-/// sim::LinkSimulator::simulate_sweep. Bit-identical to the pre-seam
-/// engine path (the fig7a/8b/8c goldens pin this).
+/// The simulator backend: forwards every resolved request to
+/// sim::LinkSimulator::simulate_sweep (bit-identical to the pre-seam
+/// engine path — the fig7a/8b/8c goldens pin this) and keeps a writable
+/// node directory mapping NodeId -> sim::Device. Ids are decoupled from
+/// the device's radio personality (`hardware_seed`): many nodes may share
+/// one personality, e.g. one physical card swept over many positions.
 class SimSweepSource final : public SweepSource {
  public:
   SimSweepSource(sim::Environment env, sim::LinkSimConfig config);
   explicit SimSweepSource(sim::LinkSimulator link);
 
-  phy::SweepMeasurement sweep_for(const RangingRequest& req,
-                                  mathx::Rng& rng) const override;
+  /// Registers (or replaces) `device` under `id`. Thread-safe.
+  void add_node(chronos::NodeId id, sim::Device device);
+  /// Shorthand: id = device.hardware_seed.
+  void add_node(sim::Device device);
+
+  /// Directory registration from the deprecated Device-overload shims:
+  /// registers `device` under NodeId{device.hardware_seed}, replacing any
+  /// previous holder so the shim ranges exactly the device it was given.
+  /// Const because the directory is identity metadata — sweeps are a pure
+  /// function of the resolved request, so registration can never change a
+  /// measured bit. Thread-safe (internally locked).
+  void ensure_node(const sim::Device& device) const;
+
+  // NodeRegistry
+  bool has_node(chronos::NodeId id) const override;
+  chronos::Result<std::size_t> antenna_count(chronos::NodeId id)
+      const override;
+  std::vector<chronos::NodeId> nodes() const override;
+
+  // SweepSource
+  chronos::Result<ResolvedRequest> resolve(
+      const chronos::RangingRequest& request) const override;
+  chronos::Result<phy::SweepMeasurement> sweep_for(
+      const ResolvedRequest& req, mathx::Rng& rng) const override;
   const std::vector<phy::WifiBand>& bands() const override;
+  bool has_geometry() const override { return true; }
   std::string backend_name() const override { return "sim"; }
 
   /// The wrapped simulator (simulator-specific extras: ground-truth paths,
@@ -90,11 +147,14 @@ class SimSweepSource final : public SweepSource {
 
  private:
   sim::LinkSimulator link_;
+  mutable std::mutex nodes_mutex_;
+  mutable std::map<chronos::NodeId, sim::Device> nodes_;
 };
 
-/// Identity of one recorded antenna-pair link. Devices are identified by
-/// their `hardware_seed` — the same stable id that gives a simulated device
-/// its chain personality, and the natural label for a capture session.
+/// Identity of one recorded antenna-pair link. Nodes are identified by
+/// their public NodeId value — for captures made with simulated devices
+/// this is conventionally the `hardware_seed`, the same stable id that
+/// gives a simulated device its chain personality.
 struct TraceKey {
   std::uint64_t tx_device = 0;
   std::size_t tx_antenna = 0;
@@ -103,14 +163,17 @@ struct TraceKey {
 
   friend auto operator<=>(const TraceKey&, const TraceKey&) = default;
 
-  /// The key a RangingRequest resolves to.
-  static TraceKey of(const RangingRequest& req);
+  /// The key a resolved request resolves to.
+  static TraceKey of(const ResolvedRequest& req);
+  /// The key a public id-based request resolves to.
+  static TraceKey of(const chronos::RangingRequest& req);
 };
 
 /// Replay backend: serves recorded sweeps (phy::csi_io format) instead of
-/// simulating. Populate it with `add_sweep` / `add_sweep_file`, then range
-/// through the identical pipeline — the estimator cannot tell a replayed
-/// trace from a live simulation.
+/// simulating. Populate it with `try_add_sweep` / `try_add_sweep_file`,
+/// then range through the identical pipeline — the estimator cannot tell a
+/// replayed trace from a live simulation. The node directory is derived
+/// from the recorded keys (antenna count = highest recorded antenna + 1).
 ///
 /// Band structure is established by the first recorded sweep and enforced
 /// on every later one (all sweeps of a deployment share the band plan).
@@ -122,17 +185,35 @@ class TraceSweepSource final : public SweepSource {
  public:
   TraceSweepSource() = default;
 
-  /// Records `sweep` under `key`. Throws std::invalid_argument when the
-  /// sweep is structurally invalid or its bands disagree with the bands
-  /// established by the first recorded sweep.
-  void add_sweep(const TraceKey& key, phy::SweepMeasurement sweep);
+  /// Records `sweep` under `key`: kMalformedSweep when the sweep is
+  /// structurally invalid, kBandMismatch when its bands disagree with the
+  /// bands established by the first recorded sweep.
+  chronos::Status try_add_sweep(const TraceKey& key,
+                                phy::SweepMeasurement sweep);
 
-  /// Loads a phy::csi_io trace file and records it under `key`.
+  /// Loads a phy::csi_io trace file and records it under `key` (adds file
+  /// open/parse failures to the try_add_sweep statuses).
+  chronos::Status try_add_sweep_file(const TraceKey& key,
+                                     const std::string& path);
+
+  /// Throwing convenience wrappers (std::invalid_argument on failure) for
+  /// tooling that treats a bad trace file as fatal.
+  void add_sweep(const TraceKey& key, phy::SweepMeasurement sweep);
   void add_sweep_file(const TraceKey& key, const std::string& path);
 
-  phy::SweepMeasurement sweep_for(const RangingRequest& req,
-                                  mathx::Rng& rng) const override;
+  // NodeRegistry
+  bool has_node(chronos::NodeId id) const override;
+  chronos::Result<std::size_t> antenna_count(chronos::NodeId id)
+      const override;
+  std::vector<chronos::NodeId> nodes() const override;
+
+  // SweepSource
+  chronos::Result<ResolvedRequest> resolve(
+      const chronos::RangingRequest& request) const override;
+  chronos::Result<phy::SweepMeasurement> sweep_for(
+      const ResolvedRequest& req, mathx::Rng& rng) const override;
   const std::vector<phy::WifiBand>& bands() const override;
+  bool has_geometry() const override { return false; }
   std::string backend_name() const override { return "trace"; }
 
   /// Recorded links / total recorded sweeps (diagnostics).
@@ -142,6 +223,8 @@ class TraceSweepSource final : public SweepSource {
 
  private:
   std::map<TraceKey, std::vector<phy::SweepMeasurement>> sweeps_;
+  /// NodeId value -> antenna arity (1 + highest recorded antenna index).
+  std::map<std::uint64_t, std::size_t> node_arity_;
   std::vector<phy::WifiBand> bands_;
 };
 

@@ -1,0 +1,154 @@
+// Recoverable, typed errors for the public chronos:: API.
+//
+// Request-shaped failures — an unknown node id, an antenna index a device
+// does not have, a trace backend asked for a band plan it never recorded, a
+// full submission queue — come from *callers* (possibly untrusted ones) and
+// must be reportable without unwinding the stack: one malformed request in
+// a batch of a million cannot abort the other 999999. `Status` carries a
+// machine-checkable code plus a human-readable message; `Result<T>` is the
+// expected-style carrier of "a T or a Status". Exceptions remain reserved
+// for programmer error (broken invariants, CHRONOS_ENSURES) — the
+// contracts.hpp layer is unchanged.
+//
+// Lives in the mathx base layer (like contracts.hpp) so every layer —
+// phy's trace parser, core's backends, the chronos:: facade — can speak
+// the same error vocabulary; the types themselves live in the top-level
+// `chronos` namespace because they ARE the public surface.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "mathx/contracts.hpp"
+
+namespace chronos {
+
+/// Every request-shaped failure the public API can report. Codes are
+/// stable: clients may switch on them.
+enum class StatusCode : int {
+  kOk = 0,
+  /// Request is structurally invalid (empty batch where one is required,
+  /// bad option value, receiver without enough antennas to trilaterate...).
+  kInvalidArgument,
+  /// A NodeId that no backend node answers to.
+  kUnknownNode,
+  /// The node exists but has no antenna with the requested index.
+  kAntennaOutOfRange,
+  /// Both endpoints exist, but the backend has no measurement for this
+  /// (tx antenna, rx antenna) pairing (e.g. an unrecorded trace link).
+  kUnknownLink,
+  /// Band structure disagrees with what the backend/pipeline expects.
+  kBandMismatch,
+  /// A sweep failed structural validation (parse error, truncated
+  /// exchange, non-finite values, wrong subcarrier count...).
+  kMalformedSweep,
+  /// Bounded submission queue is at capacity; retry after collecting
+  /// results (flow control, not an error in the request itself).
+  kQueueFull,
+  /// The operation is not supported by this backend (e.g. fixture
+  /// calibration on a trace backend with no device descriptions).
+  kUnavailable,
+  /// A defect in this library surfaced while serving the request; the
+  /// message carries the captured diagnostic.
+  kInternal,
+};
+
+/// Stable identifier for a code ("kQueueFull", ...), for logs and tests.
+constexpr const char* to_string(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "kOk";
+    case StatusCode::kInvalidArgument: return "kInvalidArgument";
+    case StatusCode::kUnknownNode: return "kUnknownNode";
+    case StatusCode::kAntennaOutOfRange: return "kAntennaOutOfRange";
+    case StatusCode::kUnknownLink: return "kUnknownLink";
+    case StatusCode::kBandMismatch: return "kBandMismatch";
+    case StatusCode::kMalformedSweep: return "kMalformedSweep";
+    case StatusCode::kQueueFull: return "kQueueFull";
+    case StatusCode::kUnavailable: return "kUnavailable";
+    case StatusCode::kInternal: return "kInternal";
+  }
+  return "<invalid StatusCode>";
+}
+
+/// A typed, recoverable outcome: kOk (default construction) or an error
+/// code with a message. Cheap to copy on the success path (empty message).
+class Status {
+ public:
+  /// Default = success.
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "kUnknownNode: no node with id 42" — for logs and thrown shims.
+  std::string to_string() const {
+    std::string out = chronos::to_string(code_);
+    if (!message_.empty()) {
+      out += ": ";
+      out += message_;
+    }
+    return out;
+  }
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;  // messages are diagnostics, not identity
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Expected-style carrier: either a value or a non-ok Status. Implicitly
+/// constructible from both so `return {StatusCode::kUnknownNode, "..."};`
+/// and `return some_value;` both read naturally.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    CHRONOS_EXPECTS(!status_.ok(),
+                    "Result constructed from an OK status carries no value");
+  }
+  Result(StatusCode code, std::string message)
+      : status_(code, std::move(message)) {
+    CHRONOS_EXPECTS(code != StatusCode::kOk,
+                    "Result constructed from an OK status carries no value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  explicit operator bool() const { return ok(); }
+
+  const Status& status() const { return status_; }
+
+  /// Precondition: ok(). Accessing the value of an error Result is
+  /// programmer error and throws (contracts.hpp), never UB.
+  const T& value() const& {
+    CHRONOS_EXPECTS(ok(), "Result::value() on error: " + status_.to_string());
+    return *value_;
+  }
+  T& value() & {
+    CHRONOS_EXPECTS(ok(), "Result::value() on error: " + status_.to_string());
+    return *value_;
+  }
+  T&& value() && {
+    CHRONOS_EXPECTS(ok(), "Result::value() on error: " + status_.to_string());
+    return std::move(*value_);
+  }
+
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace chronos

@@ -4,6 +4,7 @@
 #include <fstream>
 #include <iomanip>
 #include <sstream>
+#include <utility>
 
 #include "mathx/contracts.hpp"
 #include "phy/band_plan.hpp"
@@ -45,7 +46,16 @@ void write_sweep(std::ostream& os, const SweepMeasurement& sweep) {
   }
 }
 
-SweepMeasurement read_sweep(std::istream& is) {
+namespace {
+
+/// Shorthand for the parser's rejection statuses.
+chronos::Status malformed(const std::string& message) {
+  return {chronos::StatusCode::kMalformedSweep, message};
+}
+
+}  // namespace
+
+chronos::Result<SweepMeasurement> try_read_sweep(std::istream& is) {
   SweepMeasurement sweep;
   std::vector<WifiBand> bands;
   std::string line;
@@ -61,83 +71,122 @@ SweepMeasurement read_sweep(std::istream& is) {
     ls >> tag;
 
     if (tag == "sweep") {
-      CHRONOS_EXPECTS(!have_header, "duplicate sweep header");
+      if (have_header) return malformed("duplicate sweep header");
       std::size_t n = 0;
       ls >> n >> sweep.sweep_duration_s;
-      CHRONOS_EXPECTS(!ls.fail() && n > 0, "bad sweep header");
-      CHRONOS_EXPECTS(n <= kMaxBands, "sweep header declares too many bands");
-      CHRONOS_EXPECTS(std::isfinite(sweep.sweep_duration_s) &&
-                          sweep.sweep_duration_s > 0.0,
-                      "sweep duration must be finite and positive");
+      if (ls.fail() || n == 0) return malformed("bad sweep header");
+      if (n > kMaxBands) {
+        return malformed("sweep header declares too many bands");
+      }
+      if (!std::isfinite(sweep.sweep_duration_s) ||
+          sweep.sweep_duration_s <= 0.0) {
+        return malformed("sweep duration must be finite and positive");
+      }
       std::string extra;
-      CHRONOS_EXPECTS(!(ls >> extra), "trailing garbage in sweep header");
+      if (ls >> extra) return malformed("trailing garbage in sweep header");
       sweep.bands.resize(n);
       bands.resize(n);
       pending_forward.resize(n);
       have_header = true;
     } else if (tag == "band") {
-      CHRONOS_EXPECTS(have_header, "band record before sweep header");
+      if (!have_header) return malformed("band record before sweep header");
       std::size_t idx = 0;
       int channel = 0;
       ls >> idx >> channel;
-      CHRONOS_EXPECTS(!ls.fail() && idx < bands.size(), "bad band record");
+      if (ls.fail() || idx >= bands.size()) {
+        return malformed("bad band record");
+      }
       std::string extra;
-      CHRONOS_EXPECTS(!(ls >> extra), "trailing garbage in band record");
-      bands[idx] = band_by_channel(channel);
+      if (ls >> extra) return malformed("trailing garbage in band record");
+      // A channel outside the plan is a *band mismatch*, not mere garbage:
+      // it is the signature of a converter whose frequency map disagrees
+      // with the US band plan the pipeline was built for.
+      try {
+        bands[idx] = band_by_channel(channel);
+      } catch (const std::invalid_argument&) {
+        return chronos::Status{
+            chronos::StatusCode::kBandMismatch,
+            "band record names channel " + std::to_string(channel) +
+                ", which is not in the band plan"};
+      }
     } else if (tag == "capture") {
-      CHRONOS_EXPECTS(have_header, "capture record before sweep header");
+      if (!have_header) return malformed("capture record before sweep header");
       std::size_t bi = 0;
       char dir = 'f';
       CsiMeasurement m;
       ls >> bi >> dir >> m.timestamp_s >> m.snr_db;
-      CHRONOS_EXPECTS(!ls.fail() && bi < bands.size(), "bad capture record");
-      CHRONOS_EXPECTS(dir == 'f' || dir == 'r',
-                      "capture direction must be 'f' or 'r'");
-      CHRONOS_EXPECTS(std::isfinite(m.timestamp_s) && std::isfinite(m.snr_db),
-                      "capture timestamp/SNR must be finite");
+      if (ls.fail() || bi >= bands.size()) {
+        return malformed("bad capture record");
+      }
+      if (dir != 'f' && dir != 'r') {
+        return malformed("capture direction must be 'f' or 'r'");
+      }
+      if (!std::isfinite(m.timestamp_s) || !std::isfinite(m.snr_db)) {
+        return malformed("capture timestamp/SNR must be finite");
+      }
       m.band = bands[bi];
       m.direction = dir == 'f' ? Direction::kForward : Direction::kReverse;
       m.values.reserve(intel5300_subcarrier_indices().size());
       double re = 0.0, im = 0.0;
       while (ls >> re) {
-        CHRONOS_EXPECTS(!(ls >> im).fail(),
-                        "capture has an odd or malformed CSI component");
-        CHRONOS_EXPECTS(std::isfinite(re) && std::isfinite(im),
-                        "CSI values must be finite");
+        if ((ls >> im).fail()) {
+          return malformed("capture has an odd or malformed CSI component");
+        }
+        if (!std::isfinite(re) || !std::isfinite(im)) {
+          return malformed("CSI values must be finite");
+        }
         m.values.emplace_back(re, im);
-        CHRONOS_EXPECTS(
-            m.values.size() <= intel5300_subcarrier_indices().size(),
-            "capture carries more than 30 subcarrier values");
+        if (m.values.size() > intel5300_subcarrier_indices().size()) {
+          return malformed("capture carries more than 30 subcarrier values");
+        }
       }
       // The loop must have stopped at end-of-line, not on a token that
       // failed to parse as a number (trailing garbage).
-      CHRONOS_EXPECTS(ls.eof(), "trailing garbage in capture record");
-      CHRONOS_EXPECTS(
-          m.values.size() == intel5300_subcarrier_indices().size(),
-          "capture must carry 30 subcarrier values");
+      if (!ls.eof()) return malformed("trailing garbage in capture record");
+      if (m.values.size() != intel5300_subcarrier_indices().size()) {
+        return malformed("capture must carry 30 subcarrier values");
+      }
 
       if (m.direction == Direction::kForward) {
-        CHRONOS_EXPECTS(pending_forward[bi].values.empty(),
-                        "two forward captures without a reverse between them");
+        if (!pending_forward[bi].values.empty()) {
+          return malformed(
+              "two forward captures without a reverse between them");
+        }
         pending_forward[bi] = std::move(m);
       } else {
-        CHRONOS_EXPECTS(!pending_forward[bi].values.empty(),
-                        "reverse capture without a forward partner");
+        if (pending_forward[bi].values.empty()) {
+          return malformed(
+              "truncated exchange: reverse capture without a forward "
+              "partner");
+        }
         sweep.bands[bi].push_back(
             {std::move(pending_forward[bi]), std::move(m)});
         pending_forward[bi] = CsiMeasurement{};
       }
     } else {
-      CHRONOS_EXPECTS(false, "unknown record tag in CSI trace");
+      return malformed("unknown record tag in CSI trace");
     }
   }
-  CHRONOS_EXPECTS(have_header, "stream contains no sweep header");
+  if (!have_header) return malformed("stream contains no sweep header");
   for (const auto& pending : pending_forward) {
-    CHRONOS_EXPECTS(pending.values.empty(),
-                    "forward capture without a reverse partner at end of stream");
+    if (!pending.values.empty()) {
+      return malformed(
+          "truncated exchange: forward capture without a reverse partner at "
+          "end of stream");
+    }
   }
-  validate(sweep);
+  try {
+    validate(sweep);
+  } catch (const std::invalid_argument& e) {
+    return malformed(e.what());
+  }
   return sweep;
+}
+
+SweepMeasurement read_sweep(std::istream& is) {
+  auto result = try_read_sweep(is);
+  CHRONOS_EXPECTS(result.ok(), result.status().to_string());
+  return std::move(result).value();
 }
 
 void save_sweep(const std::string& path, const SweepMeasurement& sweep) {
@@ -145,6 +194,15 @@ void save_sweep(const std::string& path, const SweepMeasurement& sweep) {
   CHRONOS_EXPECTS(os.good(), "cannot open file for writing: " + path);
   write_sweep(os, sweep);
   CHRONOS_EXPECTS(os.good(), "write failed: " + path);
+}
+
+chronos::Result<SweepMeasurement> try_load_sweep(const std::string& path) {
+  std::ifstream is(path);
+  if (!is.good()) {
+    return chronos::Status{chronos::StatusCode::kMalformedSweep,
+                           "cannot open file for reading: " + path};
+  }
+  return try_read_sweep(is);
 }
 
 SweepMeasurement load_sweep(const std::string& path) {

@@ -18,6 +18,7 @@
 #include <iosfwd>
 #include <string>
 
+#include "mathx/status.hpp"
 #include "phy/csi.hpp"
 
 namespace chronos::phy {
@@ -26,12 +27,22 @@ namespace chronos::phy {
 /// input sweeps (validated first).
 void write_sweep(std::ostream& os, const SweepMeasurement& sweep);
 
-/// Reads a sweep written by write_sweep. Throws std::invalid_argument on
-/// parse errors or structural violations.
+/// Reads a sweep written by write_sweep — the Status-based parser for
+/// untrusted input (API v2). Never throws for bad input:
+///   * kBandMismatch    a band record names a channel outside the US band
+///                      plan (e.g. a converter with a wrong frequency map);
+///   * kMalformedSweep  every other structural violation — parse errors,
+///                      truncated forward/reverse exchanges, non-finite
+///                      values, wrong subcarrier counts, trailing garbage.
+chronos::Result<SweepMeasurement> try_read_sweep(std::istream& is);
+
+/// Throwing wrapper around try_read_sweep (std::invalid_argument), for
+/// tooling that treats a bad trace as fatal.
 SweepMeasurement read_sweep(std::istream& is);
 
-/// Convenience file wrappers. Throw std::invalid_argument when the file
-/// cannot be opened.
+/// Convenience file wrappers. The try_ variant adds kMalformedSweep for an
+/// unopenable file; the throwing ones throw std::invalid_argument.
+chronos::Result<SweepMeasurement> try_load_sweep(const std::string& path);
 void save_sweep(const std::string& path, const SweepMeasurement& sweep);
 SweepMeasurement load_sweep(const std::string& path);
 

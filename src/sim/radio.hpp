@@ -7,6 +7,14 @@
 // delay plus fixed per-band phase ripple), transmit power, and noise floor.
 #pragma once
 
+// Public-API leak guard: clients built against only the chronos:: facade
+// (umbrella chronos.hpp) define CHRONOS_NO_SIM_IN_PUBLIC_API, and reaching
+// any simulator header from there is a layering bug, caught at compile
+// time (see examples/CMakeLists.txt, examples-public-api).
+#ifdef CHRONOS_NO_SIM_IN_PUBLIC_API
+#error "sim/ headers must not be reachable from the public chronos:: API"
+#endif
+
 #include <complex>
 #include <cstdint>
 #include <vector>

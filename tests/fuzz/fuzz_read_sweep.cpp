@@ -1,11 +1,15 @@
-// Fuzz harness for phy::read_sweep — the parser that sits on the repo's
-// only untrusted input boundary (CSI trace files, ultimately produced by
-// external capture tooling).
+// Fuzz harness for phy::try_read_sweep / read_sweep — the parser that sits
+// on the repo's only untrusted input boundary (CSI trace files, ultimately
+// produced by external capture tooling).
 //
-// Contract under fuzzing: for ANY byte sequence, read_sweep either returns
-// a validated SweepMeasurement or throws std::invalid_argument. Crashes,
-// hangs, unbounded allocation, sanitizer reports, or any other exception
-// type are findings.
+// Contract under fuzzing: for ANY byte sequence,
+//   * try_read_sweep returns a validated SweepMeasurement or a non-ok
+//     chronos::Status (kMalformedSweep / kBandMismatch) — it never throws;
+//   * the throwing wrapper read_sweep agrees exactly: it throws
+//     std::invalid_argument iff the Status path reports an error.
+// Crashes, hangs, unbounded allocation, sanitizer reports, any exception
+// out of try_read_sweep, any non-invalid_argument out of read_sweep, or a
+// Status/throw disagreement are findings.
 //
 // Two build flavors (tests/fuzz/CMakeLists.txt picks automatically):
 //   * libFuzzer (Clang): coverage-guided, LLVMFuzzerTestOneInput only;
@@ -15,6 +19,7 @@
 //     gcc + ASan/UBSan where libFuzzer is unavailable.
 #include <cstddef>
 #include <cstdint>
+#include <cstdlib>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -23,14 +28,22 @@
 
 extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
                                       std::size_t size) {
-  std::istringstream is(
-      std::string(reinterpret_cast<const char*>(data), size));
+  const std::string text(reinterpret_cast<const char*>(data), size);
+
+  // Status path: must never throw (an escaping exception aborts the
+  // harness — that is the point).
+  std::istringstream is(text);
+  const auto result = chronos::phy::try_read_sweep(is);
+
+  // The throwing wrapper must agree with the Status path, input for input.
+  std::istringstream again(text);
+  bool threw = false;
   try {
-    (void)chronos::phy::read_sweep(is);
+    (void)chronos::phy::read_sweep(again);
   } catch (const std::invalid_argument&) {
-    // The contract-sanctioned rejection path. Anything else propagates and
-    // aborts the harness — that is the point.
+    threw = true;
   }
+  if (result.ok() == threw) std::abort();  // disagreement = finding
   return 0;
 }
 

@@ -28,8 +28,8 @@ EngineConfig fast_config() {
   return ec;
 }
 
-std::vector<RangingRequest> make_requests(std::size_t n) {
-  std::vector<RangingRequest> reqs;
+std::vector<ResolvedRequest> make_requests(std::size_t n) {
+  std::vector<ResolvedRequest> reqs;
   const auto rx = sim::make_laptop({12.0, 9.0}, 0.3, 77);
   for (std::size_t i = 0; i < n; ++i) {
     const double x = 2.0 + 0.7 * static_cast<double>(i % 11);
@@ -40,6 +40,7 @@ std::vector<RangingRequest> make_requests(std::size_t n) {
 }
 
 void expect_bitwise_equal(const RangingResult& a, const RangingResult& b) {
+  EXPECT_EQ(a.status.code(), b.status.code());
   EXPECT_EQ(a.tof_s, b.tof_s);
   EXPECT_EQ(a.distance_m, b.distance_m);
   EXPECT_EQ(a.toa_s, b.toa_s);
@@ -123,17 +124,25 @@ TEST(BatchDeterminism, SuccessiveBatchesDiffer) {
 TEST(BatchDeterminism, EmptyBatchIsValid) {
   const ChronosEngine eng(sim::anechoic(), fast_config());
   mathx::Rng rng(1);
-  const auto out = eng.measure_batch({}, rng);
+  const auto out = eng.measure_batch(std::vector<ResolvedRequest>{}, rng);
   EXPECT_TRUE(out.results.empty());
 }
 
-TEST(BatchDeterminism, JobExceptionsPropagateToCaller) {
+TEST(BatchDeterminism, BadRequestYieldsStatusNotAbort) {
+  // API v2: one request the backend cannot serve gets its own non-ok
+  // status; the other results are untouched and no exception escapes.
   const ChronosEngine eng(sim::anechoic(), fast_config());
-  std::vector<RangingRequest> requests = make_requests(3);
-  requests[1].tx_antenna = 99;  // out of range -> throws inside the job
+  std::vector<ResolvedRequest> requests = make_requests(3);
+  requests[1].tx_antenna = 99;  // out of range -> status, not a throw
   mathx::Rng rng(1);
-  EXPECT_THROW((void)eng.measure_batch(requests, rng, BatchOptions{4}),
-               std::invalid_argument);
+  const auto batch = eng.measure_batch(requests, rng, BatchOptions{4});
+  ASSERT_EQ(batch.results.size(), requests.size());
+  EXPECT_TRUE(batch.results[0].status.ok());
+  EXPECT_EQ(batch.results[1].status.code(),
+            chronos::StatusCode::kAntennaOutOfRange);
+  EXPECT_FALSE(batch.results[1].peak_found);
+  EXPECT_TRUE(batch.results[2].status.ok());
+  EXPECT_TRUE(batch.results[0].peak_found);
 }
 
 TEST(BatchSession, SubmitGetMatchesSynchronousMeasureBatch) {
@@ -167,7 +176,7 @@ TEST(BatchSession, OutstandingHandlesCollectInAnyOrder) {
   const ChronosEngine eng(sim::office_20x20(), fast_config());
   constexpr std::size_t kBatches = 3;
 
-  std::vector<std::vector<RangingRequest>> requests;
+  std::vector<std::vector<ResolvedRequest>> requests;
   std::vector<BatchResult> reference;
   for (std::size_t b = 0; b < kBatches; ++b) {
     requests.push_back(make_requests(3 + b));
@@ -261,14 +270,19 @@ TEST(BatchSession, HandleOutlivesEngine) {
   }
 }
 
-TEST(BatchSession, AsyncExceptionsSurfaceAtGet) {
+TEST(BatchSession, AsyncBadRequestSurfacesAsStatusAtGet) {
   const ChronosEngine eng(sim::anechoic(), fast_config());
-  std::vector<RangingRequest> requests = make_requests(3);
-  requests[1].tx_antenna = 99;  // out of range -> throws inside the job
+  std::vector<ResolvedRequest> requests = make_requests(3);
+  requests[1].tx_antenna = 99;  // out of range -> status, not a throw
   mathx::Rng rng(1);
   auto handle = eng.submit_batch(requests, rng, BatchOptions{2});
-  EXPECT_THROW((void)handle.get(), std::invalid_argument);
+  const auto out = handle.get();
   EXPECT_FALSE(handle.valid());
+  ASSERT_EQ(out.results.size(), requests.size());
+  EXPECT_TRUE(out.results[0].status.ok());
+  EXPECT_EQ(out.results[1].status.code(),
+            chronos::StatusCode::kAntennaOutOfRange);
+  EXPECT_TRUE(out.results[2].status.ok());
 }
 
 TEST(BatchDeterminism, LocateBatchIsThreadCountInvariant) {
@@ -277,7 +291,7 @@ TEST(BatchDeterminism, LocateBatchIsThreadCountInvariant) {
   eng.calibrate(sim::make_laptop({0.0, 0.0}, 0.3, 11),
                 sim::make_laptop({1.5, 0.0}, 0.3, 22), cal_rng);
 
-  std::vector<LocateRequest> jobs;
+  std::vector<ResolvedLocateRequest> jobs;
   for (int i = 0; i < 4; ++i) {
     const double x = 3.0 + 2.0 * i;
     jobs.push_back({sim::make_mobile({x, 4.0}, 50 + static_cast<std::uint64_t>(i)),

@@ -47,7 +47,8 @@ TEST(SimSweepSource, MatchesDirectSimulatorBitExactly) {
   mathx::Rng rng_direct(42);
   mathx::Rng rng_seam(42);
   const auto direct = link.simulate_sweep(tx, 0, rx, 1, rng_direct);
-  const auto seamed = source.sweep_for({tx, 0, rx, 1}, rng_seam);
+  const auto seamed =
+      source.sweep_for(ResolvedRequest{tx, 0, rx, 1}, rng_seam).value();
 
   ASSERT_EQ(direct.bands.size(), seamed.bands.size());
   for (std::size_t bi = 0; bi < direct.bands.size(); ++bi) {
@@ -78,7 +79,7 @@ TEST(SimSweepSource, EngineOnExplicitSourceMatchesClassicEngine) {
   expect_bitwise_equal(classic.measure_distance(tx, 0, rx, 0, rng_a),
                        seamed.measure_distance(tx, 0, rx, 0, rng_b));
 
-  std::vector<RangingRequest> requests = {{tx, 0, rx, 0}, {rx, 0, tx, 0}};
+  std::vector<ResolvedRequest> requests = {{tx, 0, rx, 0}, {rx, 0, tx, 0}};
   mathx::Rng rng_c(12);
   mathx::Rng rng_d(12);
   const auto batch_a = classic.measure_batch(requests, rng_c, BatchOptions{2});
@@ -106,7 +107,8 @@ TEST(TraceSweepSource, RoundTripRangesIdenticallyToInMemorySweep) {
   auto loaded = phy::read_sweep(ss);
 
   auto trace = std::make_shared<TraceSweepSource>();
-  trace->add_sweep(TraceKey::of({tx, 0, rx, 0}), std::move(loaded));
+  trace->add_sweep(TraceKey::of(ResolvedRequest{tx, 0, rx, 0}),
+                   std::move(loaded));
   EXPECT_EQ(trace->key_count(), 1u);
   EXPECT_EQ(trace->sweep_count(), 1u);
 
@@ -135,13 +137,13 @@ TEST(TraceSweepSource, BatchedReplayIsThreadCountInvariant) {
   const sim::LinkSimulator link(sim::office_20x20(), ec.link);
 
   auto trace = std::make_shared<TraceSweepSource>();
-  std::vector<RangingRequest> requests;
+  std::vector<ResolvedRequest> requests;
   mathx::Rng record_rng(5);
   const auto rx = sim::make_laptop({12.0, 9.0}, 0.3, 99);
   for (std::uint64_t d = 0; d < 6; ++d) {
     const auto tx = sim::make_mobile({2.0 + 1.5 * static_cast<double>(d), 4.0},
                                      200 + d);
-    trace->add_sweep(TraceKey::of({tx, 0, rx, 0}),
+    trace->add_sweep(TraceKey::of(ResolvedRequest{tx, 0, rx, 0}),
                      link.simulate_sweep(tx, 0, rx, 0, record_rng));
     requests.push_back({tx, 0, rx, 0});
   }
@@ -166,7 +168,7 @@ TEST(TraceSweepSource, RepeatedSweepsReplayDeterministically) {
   const sim::LinkSimulator link(sim::office_20x20(), ec.link);
   const auto tx = sim::make_mobile({3.0, 3.0}, 31);
   const auto rx = sim::make_mobile({6.0, 6.0}, 32);
-  const TraceKey key = TraceKey::of({tx, 0, rx, 0});
+  const TraceKey key = TraceKey::of(ResolvedRequest{tx, 0, rx, 0});
 
   TraceSweepSource trace;
   mathx::Rng record_rng(9);
@@ -179,8 +181,8 @@ TEST(TraceSweepSource, RepeatedSweepsReplayDeterministically) {
   // stream, never of hidden replay state.
   mathx::Rng rng_a(4);
   mathx::Rng rng_b(4);
-  const auto a = trace.sweep_for({tx, 0, rx, 0}, rng_a);
-  const auto b = trace.sweep_for({tx, 0, rx, 0}, rng_b);
+  const auto a = trace.sweep_for(ResolvedRequest{tx, 0, rx, 0}, rng_a).value();
+  const auto b = trace.sweep_for(ResolvedRequest{tx, 0, rx, 0}, rng_b).value();
   ASSERT_EQ(a.bands.size(), b.bands.size());
   EXPECT_EQ(a.bands[0][0].forward.values[0], b.bands[0][0].forward.values[0]);
 }
@@ -192,21 +194,33 @@ TEST(TraceSweepSource, RejectsUnknownKeyAndInconsistentBands) {
   const auto rx = sim::make_mobile({6.0, 6.0}, 42);
 
   TraceSweepSource trace;
+  // No recorded sweeps: asking for the band plan is programmer error...
   EXPECT_THROW((void)trace.bands(), std::invalid_argument);
 
   mathx::Rng rng(2);
-  trace.add_sweep(TraceKey::of({tx, 0, rx, 0}),
+  trace.add_sweep(TraceKey::of(ResolvedRequest{tx, 0, rx, 0}),
                   link.simulate_sweep(tx, 0, rx, 0, rng));
+  // ...but an unrecorded link in a request is recoverable data (v2).
   mathx::Rng query_rng(3);
-  EXPECT_THROW((void)trace.sweep_for({tx, 0, rx, 1}, query_rng),
-               std::invalid_argument);
+  const auto missing =
+      trace.sweep_for(ResolvedRequest{tx, 0, rx, 1}, query_rng);
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), chronos::StatusCode::kUnknownLink);
 
-  // A sweep over a different band plan must be rejected.
+  // A sweep over a different band plan must be rejected: kBandMismatch
+  // through the Status API, std::invalid_argument through the legacy
+  // throwing wrapper.
   sim::LinkSimConfig other_cfg = ec.link;
   other_cfg.bands.pop_back();
   const sim::LinkSimulator other_link(sim::office_20x20(), other_cfg);
-  EXPECT_THROW(trace.add_sweep(TraceKey::of({tx, 0, rx, 0}),
-                               other_link.simulate_sweep(tx, 0, rx, 0, rng)),
+  const auto mismatched = other_link.simulate_sweep(tx, 0, rx, 0, rng);
+  EXPECT_EQ(trace
+                .try_add_sweep(TraceKey::of(ResolvedRequest{tx, 0, rx, 0}),
+                               mismatched)
+                .code(),
+            chronos::StatusCode::kBandMismatch);
+  EXPECT_THROW(trace.add_sweep(TraceKey::of(ResolvedRequest{tx, 0, rx, 0}),
+                               mismatched),
                std::invalid_argument);
 }
 
@@ -223,10 +237,12 @@ TEST(Engine, SetCalibrationInstallsRecordedTable) {
   const auto rx = sim::make_mobile({9.0, 5.0}, 52);
   mathx::Rng record_rng(8);
   const auto sweep =
-      sim_engine.source().sweep_for({tx, 0, rx, 0}, record_rng);
+      sim_engine.source()
+          .sweep_for(ResolvedRequest{tx, 0, rx, 0}, record_rng)
+          .value();
 
   auto trace = std::make_shared<TraceSweepSource>();
-  trace->add_sweep(TraceKey::of({tx, 0, rx, 0}), sweep);
+  trace->add_sweep(TraceKey::of(ResolvedRequest{tx, 0, rx, 0}), sweep);
   ChronosEngine trace_engine(trace, ec);
   trace_engine.set_calibration(sim_engine.calibration());
 
@@ -238,29 +254,33 @@ TEST(Engine, SetCalibrationInstallsRecordedTable) {
   EXPECT_EQ(replayed.distance_m, direct.distance_m);
 }
 
-TEST(Engine, DeprecatedLinkAccessorOnlyServesSimBackends) {
+TEST(Engine, BackendIdentityAndDerivedTraceDirectory) {
+  // ChronosEngine::link() is gone (PR 5): source() + the registry cover
+  // every former caller, for simulator and trace backends alike.
   const auto ec = fast_config();
   const ChronosEngine sim_engine(sim::office_20x20(), ec);
 
-  // The accessor still works for simulator-backed engines (deprecation is a
-  // migration aid, not a removal)...
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  EXPECT_EQ(sim_engine.link().bands().size(), ec.link.bands.size());
-
-  // ...but a backend-generic engine has no simulator to expose.
   const sim::LinkSimulator link(sim::office_20x20(), ec.link);
   const auto tx = sim::make_mobile({3.0, 3.0}, 61);
-  const auto rx = sim::make_mobile({6.0, 6.0}, 62);
+  const auto rx = sim::make_laptop({6.0, 6.0}, 0.3, 62);
   auto trace = std::make_shared<TraceSweepSource>();
   mathx::Rng rng(2);
-  trace->add_sweep(TraceKey::of({tx, 0, rx, 0}),
-                   link.simulate_sweep(tx, 0, rx, 0, rng));
+  trace->add_sweep(TraceKey::of(ResolvedRequest{tx, 0, rx, 2}),
+                   link.simulate_sweep(tx, 0, rx, 2, rng));
   const ChronosEngine trace_engine(trace, ec);
-  EXPECT_THROW((void)trace_engine.link(), std::invalid_argument);
-#pragma GCC diagnostic pop
   EXPECT_EQ(trace_engine.source().backend_name(), "trace");
   EXPECT_EQ(sim_engine.source().backend_name(), "sim");
+
+  // The trace backend's node directory is derived from its recorded keys.
+  const auto& registry = trace_engine.registry();
+  EXPECT_TRUE(registry.has_node(chronos::NodeId{61}));
+  EXPECT_TRUE(registry.has_node(chronos::NodeId{62}));
+  EXPECT_FALSE(registry.has_node(chronos::NodeId{63}));
+  EXPECT_EQ(registry.antenna_count(chronos::NodeId{61}).value(), 1u);
+  EXPECT_EQ(registry.antenna_count(chronos::NodeId{62}).value(), 3u);
+  EXPECT_EQ(registry.nodes().size(), 2u);
+  EXPECT_EQ(registry.antenna_count(chronos::NodeId{9}).status().code(),
+            chronos::StatusCode::kUnknownNode);
 }
 
 }  // namespace
