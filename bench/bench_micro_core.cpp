@@ -176,6 +176,8 @@ double measure_ns_per_op(const std::function<double()>& fn, double min_ms) {
 int run_chrono_harness() {
   bench::header("micro_core", "NDFT / estimation kernel microbenchmarks");
   double min_ms = 150.0;
+  // Single-threaded harness startup; nothing concurrent reads the env.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   if (const char* env = std::getenv("CHRONOS_BENCH_MIN_MS")) {
     const double v = std::atof(env);
     if (v > 0.0) min_ms = v;

@@ -49,9 +49,9 @@ HISTORY_ONLY_PAIRS=(
 
 if [[ -n "${ONLY:-}" ]]; then
   filter_pairs() {
-    local out=()
+    local out=() pair fig
     for pair in "$@"; do
-      local fig="${pair##*:}"
+      fig="${pair##*:}"
       if [[ ",${ONLY}," == *",${fig},"* ]]; then out+=("${pair}"); fi
     done
     printf '%s\n' "${out[@]:-}"
@@ -79,8 +79,15 @@ trap 'rm -f "${SUMMARIES_FILE}" "${HISTORY_FILE}"' EXIT
 run_bench() {
   local bench="$1" fig="$2" out="$3"
   echo "running ${bench} ..." >&2
-  local summary
-  summary="$("${BUILD_DIR}/bench/${bench}" | grep '^SUMMARY ' | tail -n 1 || true)"
+  # Run the bench on its own (not at the head of a pipeline) so a crash
+  # is reported as a crash — `bench | grep || true` would swallow the
+  # exit status and misreport it as a missing SUMMARY line.
+  local raw summary
+  if ! raw="$("${BUILD_DIR}/bench/${bench}")"; then
+    echo "error: ${bench} exited non-zero" >&2
+    exit 1
+  fi
+  summary="$(grep '^SUMMARY ' <<<"${raw}" | tail -n 1 || true)"
   if [[ -z "${summary}" ]]; then
     echo "error: ${bench} emitted no SUMMARY line" >&2
     exit 1

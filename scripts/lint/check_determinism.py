@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""Determinism lint: ban ambient-entropy and unstable-order constructs.
+
+The runtime's contract (PR 2, core/batch.hpp) is that every result is a
+pure function of (source, pipeline, calibration, request, rng state) —
+bit-identical for any thread count, queue depth, or scheduling. TSan can
+only catch the races; this lint statically bans the constructs that would
+smuggle ambient nondeterminism into the contract layers (src/mathx,
+src/sim, src/core):
+
+  * std::random_device            — ambient entropy; all randomness must
+                                    flow from a caller-supplied mathx::Rng
+  * rand() / srand() / ::rand     — global-state C PRNG
+  * time(...)                     — wall-clock input
+  * *_clock::now()                — steady/system/high_resolution clocks
+                                    (bench/ and tests/ may time things;
+                                    library code may not)
+  * pointer-keyed map/set         — iteration order follows the allocator,
+                                    so any loop over one is a scheduling
+                                    dependence
+
+Suppression: a line (or its predecessor) carrying
+`lint:allow(nondeterminism)` in a comment is exempt — use it only with a
+reason, for constructs that provably never feed a measured result (e.g.
+wall-clock *diagnostics* such as BatchResult::elapsed_seconds).
+
+Registered as CTest case `lint_determinism` (label `lint`); the negative
+fixture under tests/lint/fixtures/determinism_bad must make it fail.
+
+Usage: check_determinism.py [--root DIR]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+
+# Layers bound by the bit-identical determinism contract. phy/geom are
+# pure functions of their inputs by construction (no state at all), and
+# the app layers (baseline/net/proto/drone) run on top of the contract;
+# extend this list as layers are ported to the v2 runtime.
+CHECKED_DIRS = ("src/mathx", "src/sim", "src/core")
+SOURCE_EXTS = (".hpp", ".h", ".cpp", ".cc")
+ALLOW_MARKER = "lint:allow(nondeterminism)"
+
+BANNED = [
+    (re.compile(r"std::random_device|\brandom_device\b"),
+     "std::random_device (ambient entropy; draw from mathx::Rng)"),
+    (re.compile(r"(?<![A-Za-z0-9_:])s?rand\s*\(|::s?rand\b"),
+     "C rand()/srand() (global-state PRNG; draw from mathx::Rng)"),
+    (re.compile(r"(?<![A-Za-z0-9_:.])time\s*\("),
+     "C time() (wall clock; results must not depend on time)"),
+    (re.compile(r"(steady_clock|system_clock|high_resolution_clock)::now"),
+     "std::chrono clock read (wall clock; bench/ may time, library may not)"),
+    (re.compile(r"\b(?:std::)?(?:unordered_)?(?:multi)?(?:map|set)\s*<"
+                r"\s*(?:const\s+)?[A-Za-z_][A-Za-z0-9_:]*\s*\*"),
+     "pointer-keyed associative container (iteration order = allocation "
+     "order; key by a stable id instead)"),
+]
+
+LINE_COMMENT_RE = re.compile(r"//.*$")
+STRING_RE = re.compile(r'"(?:[^"\\]|\\.)*"')
+
+
+def strip_noncode(line: str, in_block_comment: bool) -> tuple[str, bool]:
+    """Remove strings and comments; track /* */ state across lines."""
+    out = []
+    i = 0
+    line = STRING_RE.sub('""', line)
+    while i < len(line):
+        if in_block_comment:
+            end = line.find("*/", i)
+            if end == -1:
+                return "".join(out), True
+            i = end + 2
+            in_block_comment = False
+            continue
+        start = line.find("/*", i)
+        line_comment = line.find("//", i)
+        if line_comment != -1 and (start == -1 or line_comment < start):
+            out.append(line[i:line_comment])
+            return "".join(out), False
+        if start == -1:
+            out.append(line[i:])
+            break
+        out.append(line[i:start])
+        i = start + 2
+        in_block_comment = True
+    return "".join(out), in_block_comment
+
+
+def check_file(path: str, rel: str) -> list[str]:
+    violations = []
+    in_block = False
+    # A marker suppresses its own line and every following line up to and
+    # including the end of the next statement (first line whose code ends
+    # with ';', '{', or '}'), so one marker covers a multi-line call.
+    allow_open = False
+    with open(path, encoding="utf-8", errors="replace") as fh:
+        for lineno, raw in enumerate(fh, 1):
+            code, in_block = strip_noncode(raw, in_block)
+            stmt_ends = code.rstrip().endswith((";", "{", "}"))
+            if ALLOW_MARKER in raw:
+                allow_open = not stmt_ends
+                continue
+            if allow_open:
+                if stmt_ends:
+                    allow_open = False
+                continue
+            for pattern, why in BANNED:
+                if pattern.search(code):
+                    violations.append(
+                        f"{rel}:{lineno}: {why}\n    {raw.rstrip()}")
+    return violations
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    default_root = os.path.dirname(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+    parser.add_argument("--root", default=default_root,
+                        help="repository root (contains src/)")
+    args = parser.parse_args()
+
+    any_dir = False
+    violations: list[str] = []
+    checked = 0
+    for sub in CHECKED_DIRS:
+        root = os.path.join(args.root, sub)
+        if not os.path.isdir(root):
+            continue
+        any_dir = True
+        for dirpath, _dirnames, filenames in os.walk(root):
+            for name in sorted(filenames):
+                if not name.endswith(SOURCE_EXTS):
+                    continue
+                path = os.path.join(dirpath, name)
+                rel = os.path.relpath(path, args.root).replace(os.sep, "/")
+                checked += 1
+                violations.extend(check_file(path, rel))
+
+    if not any_dir:
+        print(f"check_determinism: none of {CHECKED_DIRS} under "
+              f"{args.root}", file=sys.stderr)
+        return 2
+    if violations:
+        print(f"check_determinism: {len(violations)} violation(s) in "
+              f"{checked} files:", file=sys.stderr)
+        for v in violations:
+            print(f"  {v}", file=sys.stderr)
+        return 1
+    print(f"check_determinism: OK ({checked} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Shell-script audit for the repository's tooling (scripts/**/*.sh):
+#
+#   1. every script must set the unofficial strict mode
+#      (`set -euo pipefail`) near the top — a script that keeps running
+#      after a failed step can rewrite goldens from half-finished bench
+#      output;
+#   2. every script must be executable and start with a bash shebang;
+#   3. if shellcheck is on PATH, every script must pass it clean
+#      (skipped with a notice otherwise, so gcc-only containers still run
+#      the structural checks; CI installs shellcheck).
+#
+# Registered as CTest case `lint_shell` (label `lint`).
+#
+# Usage: check_shell.sh [--root DIR]
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/../.." && pwd)"
+if [[ "${1:-}" == "--root" ]]; then
+  ROOT="$(cd "$2" && pwd)"
+fi
+
+mapfile -t SCRIPTS < <(find "${ROOT}/scripts" -name '*.sh' | sort)
+if [[ "${#SCRIPTS[@]}" -eq 0 ]]; then
+  echo "check_shell: no shell scripts under ${ROOT}/scripts" >&2
+  exit 2
+fi
+
+FAILURES=0
+for script in "${SCRIPTS[@]}"; do
+  rel="${script#"${ROOT}"/}"
+  if ! head -n 1 "${script}" | grep -qE '^#!.*bash'; then
+    echo "  ${rel}: missing bash shebang" >&2
+    FAILURES=$((FAILURES + 1))
+  fi
+  # Strict mode within the header (first 40 lines: shebang + comment block).
+  if ! head -n 40 "${script}" | grep -qE '^set -euo pipefail$'; then
+    echo "  ${rel}: missing 'set -euo pipefail'" >&2
+    FAILURES=$((FAILURES + 1))
+  fi
+  if [[ ! -x "${script}" ]]; then
+    echo "  ${rel}: not executable (chmod +x)" >&2
+    FAILURES=$((FAILURES + 1))
+  fi
+  if ! bash -n "${script}" 2>/dev/null; then
+    echo "  ${rel}: bash -n syntax check failed" >&2
+    FAILURES=$((FAILURES + 1))
+  fi
+done
+
+if command -v shellcheck >/dev/null 2>&1; then
+  # -x follows sourced files; severity=style is the strictest gate.
+  if ! shellcheck --severity=style -x "${SCRIPTS[@]}"; then
+    echo "  shellcheck reported findings above" >&2
+    FAILURES=$((FAILURES + 1))
+  fi
+  echo "check_shell: shellcheck pass included (${#SCRIPTS[@]} scripts)"
+else
+  echo "check_shell: NOTE shellcheck not on PATH; structural checks only" >&2
+fi
+
+if [[ "${FAILURES}" -gt 0 ]]; then
+  echo "check_shell: ${FAILURES} finding(s)" >&2
+  exit 1
+fi
+echo "check_shell: OK (${#SCRIPTS[@]} scripts)"

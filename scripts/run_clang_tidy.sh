@@ -1,0 +1,108 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (config: .clang-tidy at the repo root) over every
+# first-party translation unit in a build tree's compile_commands.json.
+#
+# Usage: scripts/run_clang_tidy.sh [build-dir]
+#   build-dir   a configured build tree with compile_commands.json
+#               (default: build-tidy if present, else build — both export
+#               the database; the `tidy` preset is the canonical tree)
+#
+# Environment:
+#   CLANG_TIDY=clang-tidy-18   use a specific binary
+#   CHRONOS_TIDY_STRICT=1      missing clang-tidy is an error instead of a
+#                              skip (CI sets this; local gcc-only machines
+#                              get a loud no-op so the wrapper can sit in
+#                              any workflow)
+#   TIDY_JOBS=N                parallelism (default: nproc)
+#
+# Exit status: 0 when every file is clean (or the tool is absent and
+# strict mode is off); non-zero otherwise. WarningsAsErrors in .clang-tidy
+# promotes every finding, so "clean" means zero findings, not zero errors.
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+
+BUILD_DIR="${1:-}"
+if [[ -z "${BUILD_DIR}" ]]; then
+  if [[ -f "${REPO_ROOT}/build-tidy/compile_commands.json" ]]; then
+    BUILD_DIR="${REPO_ROOT}/build-tidy"
+  else
+    BUILD_DIR="${REPO_ROOT}/build"
+  fi
+fi
+case "${BUILD_DIR}" in
+  /*) ;;
+  *) BUILD_DIR="${REPO_ROOT}/${BUILD_DIR}" ;;
+esac
+
+if [[ ! -f "${BUILD_DIR}/compile_commands.json" ]]; then
+  echo "error: ${BUILD_DIR}/compile_commands.json not found" >&2
+  echo "hint: configure first, e.g. 'cmake --preset tidy'" >&2
+  exit 1
+fi
+
+# Resolve the clang-tidy binary: explicit override, bare name, then the
+# newest versioned name on PATH.
+CLANG_TIDY_BIN="${CLANG_TIDY:-}"
+if [[ -z "${CLANG_TIDY_BIN}" ]]; then
+  for candidate in clang-tidy clang-tidy-{21,20,19,18,17,16,15,14}; do
+    if command -v "${candidate}" >/dev/null 2>&1; then
+      CLANG_TIDY_BIN="${candidate}"
+      break
+    fi
+  done
+fi
+if [[ -z "${CLANG_TIDY_BIN}" ]]; then
+  if [[ "${CHRONOS_TIDY_STRICT:-0}" == "1" ]]; then
+    echo "error: clang-tidy not found and CHRONOS_TIDY_STRICT=1" >&2
+    exit 1
+  fi
+  echo "SKIP: clang-tidy not found on PATH; install it (or run in CI," >&2
+  echo "      where the static-analysis job provides it) to lint." >&2
+  exit 0
+fi
+
+# First-party TUs only: everything compiled from src/, tests/, bench/, or
+# examples/ — not sources FetchContent may have dropped into the build
+# tree (GoogleTest), which have their own style.
+FILES="$(python3 - "${BUILD_DIR}/compile_commands.json" "${REPO_ROOT}" <<'PY'
+import json
+import os
+import sys
+
+db_path, repo = sys.argv[1], sys.argv[2]
+roots = tuple(os.path.join(repo, d) + os.sep
+              for d in ("src", "tests", "bench", "examples"))
+seen = []
+with open(db_path) as fh:
+    for entry in json.load(fh):
+        path = os.path.normpath(
+            os.path.join(entry.get("directory", ""), entry["file"]))
+        if path.startswith(roots) and path not in seen:
+            seen.append(path)
+print("\n".join(seen))
+PY
+)"
+
+if [[ -z "${FILES}" ]]; then
+  echo "error: no first-party files in ${BUILD_DIR}/compile_commands.json" >&2
+  exit 1
+fi
+
+JOBS="${TIDY_JOBS:-$(nproc)}"
+COUNT="$(wc -l <<<"${FILES}")"
+echo "clang-tidy (${CLANG_TIDY_BIN}): ${COUNT} files, ${JOBS} jobs," >&2
+echo "  database ${BUILD_DIR}/compile_commands.json" >&2
+
+# xargs returns 123 when any invocation fails; --quiet suppresses the
+# "N warnings generated" chatter so real findings stand out.
+STATUS=0
+xargs -P "${JOBS}" -n 4 \
+  "${CLANG_TIDY_BIN}" --quiet -p "${BUILD_DIR}" <<<"${FILES}" || STATUS=$?
+
+if [[ "${STATUS}" -ne 0 ]]; then
+  echo "clang-tidy: findings above must be fixed (or NOLINT'ed with a" >&2
+  echo "  reason) — see README 'Static analysis'." >&2
+  exit 1
+fi
+echo "clang-tidy: clean (${COUNT} files)" >&2

@@ -26,6 +26,8 @@ struct BatchHandle::State {
   std::chrono::steady_clock::time_point t0;
   int threads_used = 1;
 
+  // Wall-clock start for the wall_time_s diagnostic; never feeds a
+  // measured result. lint:allow(nondeterminism)
   explicit State(RangingSession s)
       : session(std::move(s)), t0(std::chrono::steady_clock::now()) {}
 };
@@ -55,6 +57,7 @@ BatchResult BatchHandle::get() {
   BatchResult out;
   out.threads_used = state->threads_used;
   out.results = state->session.drain();
+  // Diagnostic only: results came out of drain() above. lint:allow(nondeterminism)
   out.wall_time_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     state->t0)
@@ -117,6 +120,8 @@ BatchResult run_ranging_batch(const SweepSource& source,
   const mathx::Rng base = rng.fork(kBatchStreamTag);
 
   BatchResult out;
+  // Wall-clock diagnostic (wall_time_s); results are a pure function of
+  // the rng streams below. lint:allow(nondeterminism)
   const auto t0 = std::chrono::steady_clock::now();
 
   // Request i is a pure function of (source, pipeline, calibration,
@@ -159,6 +164,7 @@ BatchResult run_ranging_batch(const SweepSource& source,
     out.results = parallel_map_on(*pool, requests.size(), process);
   }
 
+  // Diagnostic only; see above. lint:allow(nondeterminism)
   out.wall_time_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();

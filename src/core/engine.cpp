@@ -169,7 +169,7 @@ RangingResult ChronosEngine::measure_distance(const sim::Device& tx,
 
 std::shared_ptr<WorkerPool> ChronosEngine::session_pool(int threads) const {
   const auto wanted = static_cast<std::size_t>(std::max(threads, 1));
-  std::lock_guard<std::mutex> lock(pool_mutex_);
+  chronos::MutexLock lock(pool_mutex_);
   if (!pool_ || pool_->size() < wanted) {
     // Grow by replacement (WorkerPool is fixed-size by design). The old
     // pool, if any, stays alive through the shared_ptr held by every
@@ -180,7 +180,7 @@ std::shared_ptr<WorkerPool> ChronosEngine::session_pool(int threads) const {
 }
 
 std::size_t ChronosEngine::session_threads() const {
-  std::lock_guard<std::mutex> lock(pool_mutex_);
+  chronos::MutexLock lock(pool_mutex_);
   return pool_ ? pool_->size() : 0;
 }
 

@@ -38,7 +38,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <vector>
@@ -50,6 +49,7 @@
 #include "core/ranging.hpp"
 #include "core/session.hpp"
 #include "core/sweep_source.hpp"
+#include "mathx/annotations.hpp"
 #include "mathx/rng.hpp"
 
 namespace chronos::core {
@@ -254,8 +254,12 @@ class ChronosEngine {
   std::shared_ptr<const CalibrationTable> calibration_;
   LocalizerOptions localizer_;
 
-  mutable std::mutex pool_mutex_;
-  mutable std::shared_ptr<WorkerPool> pool_;
+  mutable chronos::Mutex pool_mutex_;
+  /// Lazily-built grow-never-shrink session pool. Guarded: a concurrent
+  /// grow swaps the shared_ptr, and readers must never observe the swap
+  /// mid-write — they take their own reference under the lock and use it
+  /// outside (the pointee is independently thread-safe).
+  mutable std::shared_ptr<WorkerPool> pool_ CHRONOS_GUARDED_BY(pool_mutex_);
 };
 
 }  // namespace chronos::core

@@ -3,8 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <mutex>
 
+#include "mathx/annotations.hpp"
 #include "mathx/constants.hpp"
 #include "mathx/contracts.hpp"
 
@@ -116,16 +116,6 @@ struct PlanCacheEntry {
   std::shared_ptr<const NdftPlan> plan;
 };
 
-std::mutex& plan_cache_mutex() {
-  static std::mutex mu;
-  return mu;
-}
-
-std::vector<PlanCacheEntry>& plan_cache() {
-  static std::vector<PlanCacheEntry> cache;
-  return cache;
-}
-
 /// Oldest-entry eviction bound. A plan stores the matrix twice (dense
 /// complex for the matrix() API and OMP, SoA planes for the kernels):
 /// 2*n*m*16 bytes, ~1.3 MB for the default ranging grid (35 x 1201) and
@@ -147,6 +137,44 @@ bool key_matches(const NdftPlan& plan, std::span<const double> freqs,
                     plan.row_weights().begin());
 }
 
+/// The process-wide plan cache as one annotated capability: the entry
+/// vector is CHRONOS_GUARDED_BY the cache mutex, so every lookup,
+/// insertion, size query, and eviction is provably locked at compile time
+/// (clang -Wthread-safety) — the pre-annotation code kept the mutex and
+/// the vector in two unrelated function-local statics, which the analysis
+/// cannot tie together.
+class PlanCache {
+ public:
+  std::shared_ptr<const NdftPlan> find(std::span<const double> freqs,
+                                       const DelayGrid& grid,
+                                       std::span<const double> weights) const
+      CHRONOS_REQUIRES(mutex) {
+    for (const auto& e : entries_) {
+      if (key_matches(*e.plan, freqs, grid, weights)) return e.plan;
+    }
+    return nullptr;
+  }
+
+  /// Inserts `plan`, evicting the oldest entry at the kPlanCacheMax bound.
+  void insert(std::shared_ptr<const NdftPlan> plan) CHRONOS_REQUIRES(mutex) {
+    if (entries_.size() >= kPlanCacheMax) entries_.erase(entries_.begin());
+    entries_.push_back({std::move(plan)});
+  }
+
+  std::size_t size() const CHRONOS_REQUIRES(mutex) { return entries_.size(); }
+  void clear() CHRONOS_REQUIRES(mutex) { entries_.clear(); }
+
+  mutable chronos::Mutex mutex;
+
+ private:
+  std::vector<PlanCacheEntry> entries_ CHRONOS_GUARDED_BY(mutex);
+};
+
+PlanCache& plan_cache() {
+  static PlanCache cache;
+  return cache;
+}
+
 }  // namespace
 
 std::shared_ptr<const NdftPlan> NdftPlan::get_or_create(
@@ -157,11 +185,10 @@ std::shared_ptr<const NdftPlan> NdftPlan::get_or_create(
   std::vector<double> weights(row_weights.begin(), row_weights.end());
   if (weights.empty()) weights.assign(row_freqs_hz.size(), 1.0);
 
+  PlanCache& cache = plan_cache();
   {
-    std::lock_guard<std::mutex> lock(plan_cache_mutex());
-    for (const auto& e : plan_cache()) {
-      if (key_matches(*e.plan, row_freqs_hz, grid, weights)) return e.plan;
-    }
+    chronos::MutexLock lock(cache.mutex);
+    if (auto hit = cache.find(row_freqs_hz, grid, weights)) return hit;
   }
 
   // Build outside the lock: construction runs a spectral-norm power
@@ -172,25 +199,22 @@ std::shared_ptr<const NdftPlan> NdftPlan::get_or_create(
       std::vector<double>(row_freqs_hz.begin(), row_freqs_hz.end()), grid,
       weights);
 
-  std::lock_guard<std::mutex> lock(plan_cache_mutex());
-  for (const auto& e : plan_cache()) {
-    if (key_matches(*e.plan, row_freqs_hz, grid, weights)) return e.plan;
-  }
-  if (plan_cache().size() >= kPlanCacheMax) {
-    plan_cache().erase(plan_cache().begin());
-  }
-  plan_cache().push_back({built});
+  chronos::MutexLock lock(cache.mutex);
+  if (auto hit = cache.find(row_freqs_hz, grid, weights)) return hit;
+  cache.insert(built);
   return built;
 }
 
 std::size_t NdftPlan::cache_size() {
-  std::lock_guard<std::mutex> lock(plan_cache_mutex());
-  return plan_cache().size();
+  PlanCache& cache = plan_cache();
+  chronos::MutexLock lock(cache.mutex);
+  return cache.size();
 }
 
 void NdftPlan::clear_cache() {
-  std::lock_guard<std::mutex> lock(plan_cache_mutex());
-  plan_cache().clear();
+  PlanCache& cache = plan_cache();
+  chronos::MutexLock lock(cache.mutex);
+  cache.clear();
 }
 
 void NdftPlan::forward(const double* p_re, const double* p_im, double* out_re,

@@ -82,7 +82,9 @@ class NdftPlan {
            std::vector<double> row_weights);
 
   /// Returns the shared plan for this key, building it on first use. The
-  /// cache is process-wide, mutex-guarded, and bounded; keys compare by
+  /// cache is process-wide, bounded, and guarded by an annotated
+  /// chronos::Mutex capability (every entry access is provably locked
+  /// under clang -Wthread-safety); keys compare by
   /// exact (bitwise) equality of frequencies, grid, and weights, so a hit
   /// is guaranteed to reproduce the original plan's numerics (gamma comes
   /// from a fixed-seed power iteration and is therefore deterministic).

@@ -1,12 +1,11 @@
 #include "core/session.hpp"
 
-#include <condition_variable>
 #include <exception>
 #include <map>
-#include <mutex>
 #include <utility>
 
 #include "core/worker_pool.hpp"
+#include "mathx/annotations.hpp"
 #include "mathx/contracts.hpp"
 
 namespace chronos::core {
@@ -23,17 +22,21 @@ struct Shared {
   const std::shared_ptr<const RangingPipeline> pipeline;
   const std::shared_ptr<const CalibrationTable> calibration;
 
-  mutable std::mutex mutex;
-  mutable std::condition_variable cv;
-  std::uint64_t submitted = 0;  ///< tickets issued
-  std::uint64_t finished = 0;   ///< tickets whose result is in `done`/collected
-  std::uint64_t collected = 0;  ///< tickets returned to the caller
-  std::map<std::uint64_t, RangingResult> done;  ///< finished, uncollected
+  mutable chronos::Mutex mutex;
+  mutable chronos::CondVar cv;
+  /// Tickets issued.
+  std::uint64_t submitted CHRONOS_GUARDED_BY(mutex) = 0;
+  /// Tickets whose result is in `done` or already collected.
+  std::uint64_t finished CHRONOS_GUARDED_BY(mutex) = 0;
+  /// Tickets returned to the caller.
+  std::uint64_t collected CHRONOS_GUARDED_BY(mutex) = 0;
+  /// Finished, uncollected results.
+  std::map<std::uint64_t, RangingResult> done CHRONOS_GUARDED_BY(mutex);
 
-  Shared(mathx::Rng b, std::shared_ptr<const SweepSource> src,
+  Shared(const mathx::Rng& b, std::shared_ptr<const SweepSource> src,
          std::shared_ptr<const RangingPipeline> pipe,
          std::shared_ptr<const CalibrationTable> cal)
-      : base(std::move(b)),
+      : base(b),
         source(std::move(src)),
         pipeline(std::move(pipe)),
         calibration(std::move(cal)) {}
@@ -67,7 +70,7 @@ RangingResult range_one(const Shared& shared, std::uint64_t ticket,
 
 void complete(const std::shared_ptr<Shared>& shared, std::uint64_t ticket,
               RangingResult result) {
-  std::lock_guard<std::mutex> lock(shared->mutex);
+  chronos::MutexLock lock(shared->mutex);
   shared->done.emplace(ticket, std::move(result));
   ++shared->finished;
   shared->cv.notify_all();
@@ -106,7 +109,7 @@ chronos::Result<std::uint64_t> RangingSession::try_submit(
   // re-checks under the lock, so a concurrent producer sneaking in
   // between the two checks still cannot overfill the queue.
   {
-    std::lock_guard<std::mutex> lock(state_->shared->mutex);
+    chronos::MutexLock lock(state_->shared->mutex);
     if (state_->shared->submitted - state_->shared->finished >=
         state_->depth) {
       return queue_full();
@@ -133,7 +136,7 @@ std::optional<std::uint64_t> RangingSession::try_submit_resolved(
   auto& shared = *state_->shared;
   std::uint64_t ticket = 0;
   {
-    std::lock_guard<std::mutex> lock(shared.mutex);
+    chronos::MutexLock lock(shared.mutex);
     if (shared.submitted - shared.finished >= state_->depth) {
       return std::nullopt;
     }
@@ -151,8 +154,8 @@ std::uint64_t RangingSession::submit_resolved(const ResolvedRequest& request) {
   auto& shared = *state_->shared;
   std::uint64_t ticket = 0;
   {
-    std::unique_lock<std::mutex> lock(shared.mutex);
-    shared.cv.wait(lock, [&] {
+    chronos::MutexLock lock(shared.mutex);
+    shared.cv.wait(shared.mutex, [&]() CHRONOS_REQUIRES(shared.mutex) {
       return shared.submitted - shared.finished < state_->depth;
     });
     ticket = shared.submitted++;
@@ -170,7 +173,7 @@ std::uint64_t RangingSession::push_failed(chronos::Status status) {
   auto& shared = *state_->shared;
   RangingResult result;
   result.status = std::move(status);
-  std::lock_guard<std::mutex> lock(shared.mutex);
+  chronos::MutexLock lock(shared.mutex);
   const auto ticket = shared.submitted++;
   shared.done.emplace(ticket, std::move(result));
   ++shared.finished;
@@ -180,49 +183,53 @@ std::uint64_t RangingSession::push_failed(chronos::Status status) {
 
 std::size_t RangingSession::submitted() const {
   CHRONOS_EXPECTS(state_ != nullptr, "submitted() on an invalid session");
-  std::lock_guard<std::mutex> lock(state_->shared->mutex);
+  chronos::MutexLock lock(state_->shared->mutex);
   return state_->shared->submitted;
 }
 
 std::size_t RangingSession::in_flight() const {
   CHRONOS_EXPECTS(state_ != nullptr, "in_flight() on an invalid session");
-  std::lock_guard<std::mutex> lock(state_->shared->mutex);
+  chronos::MutexLock lock(state_->shared->mutex);
   return state_->shared->submitted - state_->shared->finished;
 }
 
 std::size_t RangingSession::collected() const {
   CHRONOS_EXPECTS(state_ != nullptr, "collected() on an invalid session");
-  std::lock_guard<std::mutex> lock(state_->shared->mutex);
+  chronos::MutexLock lock(state_->shared->mutex);
   return state_->shared->collected;
 }
 
 bool RangingSession::all_done() const {
   CHRONOS_EXPECTS(state_ != nullptr, "all_done() on an invalid session");
-  std::lock_guard<std::mutex> lock(state_->shared->mutex);
+  chronos::MutexLock lock(state_->shared->mutex);
   return state_->shared->finished == state_->shared->submitted;
 }
 
 void RangingSession::wait_all() const {
   CHRONOS_EXPECTS(state_ != nullptr, "wait_all() on an invalid session");
   auto& shared = *state_->shared;
-  std::unique_lock<std::mutex> lock(shared.mutex);
-  shared.cv.wait(lock, [&] { return shared.finished == shared.submitted; });
+  chronos::MutexLock lock(shared.mutex);
+  shared.cv.wait(shared.mutex, [&]() CHRONOS_REQUIRES(shared.mutex) {
+    return shared.finished == shared.submitted;
+  });
 }
 
 bool RangingSession::next_ready() const {
   CHRONOS_EXPECTS(state_ != nullptr, "next_ready() on an invalid session");
-  std::lock_guard<std::mutex> lock(state_->shared->mutex);
+  chronos::MutexLock lock(state_->shared->mutex);
   return state_->shared->done.contains(state_->shared->collected);
 }
 
 RangingResult RangingSession::next() {
   CHRONOS_EXPECTS(state_ != nullptr, "next() on an invalid session");
   auto& shared = *state_->shared;
-  std::unique_lock<std::mutex> lock(shared.mutex);
+  chronos::MutexLock lock(shared.mutex);
   CHRONOS_EXPECTS(shared.collected < shared.submitted,
                   "next() with every submitted result already collected");
   const auto ticket = shared.collected;
-  shared.cv.wait(lock, [&] { return shared.done.contains(ticket); });
+  shared.cv.wait(shared.mutex, [&]() CHRONOS_REQUIRES(shared.mutex) {
+    return shared.done.contains(ticket);
+  });
   auto node = shared.done.extract(ticket);
   ++shared.collected;
   // A slot may have freed for a blocked submit(); results leaving the
@@ -236,14 +243,14 @@ std::vector<RangingResult> RangingSession::drain() {
   CHRONOS_EXPECTS(state_ != nullptr, "drain() on an invalid session");
   std::uint64_t target = 0;
   {
-    std::lock_guard<std::mutex> lock(state_->shared->mutex);
+    chronos::MutexLock lock(state_->shared->mutex);
     target = state_->shared->submitted;
   }
   std::vector<RangingResult> out;
   out.reserve(static_cast<std::size_t>(target));
   while (true) {
     {
-      std::lock_guard<std::mutex> lock(state_->shared->mutex);
+      chronos::MutexLock lock(state_->shared->mutex);
       if (state_->shared->collected >= target) break;
     }
     out.push_back(next());

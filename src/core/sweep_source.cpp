@@ -47,7 +47,7 @@ SimSweepSource::SimSweepSource(sim::LinkSimulator link)
 void SimSweepSource::add_node(chronos::NodeId id, sim::Device device) {
   CHRONOS_EXPECTS(!device.antennas.empty(),
                   "a registered node needs at least one antenna");
-  std::lock_guard<std::mutex> lock(nodes_mutex_);
+  chronos::MutexLock lock(nodes_mutex_);
   nodes_[id] = std::move(device);
 }
 
@@ -57,25 +57,25 @@ void SimSweepSource::add_node(sim::Device device) {
 }
 
 void SimSweepSource::ensure_node(const sim::Device& device) const {
-  std::lock_guard<std::mutex> lock(nodes_mutex_);
+  chronos::MutexLock lock(nodes_mutex_);
   nodes_[chronos::NodeId{device.hardware_seed}] = device;
 }
 
 bool SimSweepSource::has_node(chronos::NodeId id) const {
-  std::lock_guard<std::mutex> lock(nodes_mutex_);
+  chronos::MutexLock lock(nodes_mutex_);
   return nodes_.contains(id);
 }
 
 chronos::Result<std::size_t> SimSweepSource::antenna_count(
     chronos::NodeId id) const {
-  std::lock_guard<std::mutex> lock(nodes_mutex_);
+  chronos::MutexLock lock(nodes_mutex_);
   const auto it = nodes_.find(id);
   if (it == nodes_.end()) return unknown_node(id);
   return it->second.antennas.size();
 }
 
 std::vector<chronos::NodeId> SimSweepSource::nodes() const {
-  std::lock_guard<std::mutex> lock(nodes_mutex_);
+  chronos::MutexLock lock(nodes_mutex_);
   std::vector<chronos::NodeId> out;
   out.reserve(nodes_.size());
   for (const auto& [id, device] : nodes_) out.push_back(id);
@@ -87,7 +87,7 @@ chronos::Result<ResolvedRequest> SimSweepSource::resolve(
   // Failure precedence: tx endpoint fully, then rx — matching
   // NodeRegistry::validate and TraceSweepSource::resolve, so a client
   // that pre-validates sees the same code the measurement path reports.
-  std::lock_guard<std::mutex> lock(nodes_mutex_);
+  chronos::MutexLock lock(nodes_mutex_);
   const auto tx = nodes_.find(request.tx.node);
   if (tx == nodes_.end()) return unknown_node(request.tx.node);
   if (request.tx.antenna >= tx->second.antennas.size()) {

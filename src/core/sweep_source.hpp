@@ -29,11 +29,11 @@
 #include <cstddef>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "core/api.hpp"
+#include "mathx/annotations.hpp"
 #include "mathx/rng.hpp"
 #include "mathx/status.hpp"
 #include "phy/csi.hpp"
@@ -147,8 +147,11 @@ class SimSweepSource final : public SweepSource {
 
  private:
   sim::LinkSimulator link_;
-  mutable std::mutex nodes_mutex_;
-  mutable std::map<chronos::NodeId, sim::Device> nodes_;
+  mutable chronos::Mutex nodes_mutex_;
+  /// The writable node directory — the one mutable-through-const surface
+  /// of this backend (ensure_node), hence the only guarded state.
+  mutable std::map<chronos::NodeId, sim::Device> nodes_
+      CHRONOS_GUARDED_BY(nodes_mutex_);
 };
 
 /// Identity of one recorded antenna-pair link. Nodes are identified by

@@ -16,7 +16,7 @@ WorkerPool::WorkerPool(std::size_t threads) {
 
 WorkerPool::~WorkerPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    chronos::MutexLock lock(mutex_);
     stopping_ = true;
   }
   wakeup_.notify_all();
@@ -29,7 +29,7 @@ std::size_t WorkerPool::default_thread_count() {
 
 void WorkerPool::enqueue(std::function<void()> job) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    chronos::MutexLock lock(mutex_);
     CHRONOS_EXPECTS(!stopping_, "submit on a stopping worker pool");
     queue_.push(std::move(job));
   }
@@ -40,8 +40,10 @@ void WorkerPool::worker_loop() {
   for (;;) {
     std::function<void()> job;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      wakeup_.wait(lock, [this]() { return stopping_ || !queue_.empty(); });
+      chronos::MutexLock lock(mutex_);
+      wakeup_.wait(mutex_, [this]() CHRONOS_REQUIRES(mutex_) {
+        return stopping_ || !queue_.empty();
+      });
       if (queue_.empty()) return;  // stopping_ and drained
       job = std::move(queue_.front());
       queue_.pop();

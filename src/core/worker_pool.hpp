@@ -10,18 +10,18 @@
 // scheduling).
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <exception>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
+
+#include "mathx/annotations.hpp"
 
 namespace chronos::core {
 
@@ -57,14 +57,16 @@ class WorkerPool {
   static std::size_t default_thread_count();
 
  private:
-  void enqueue(std::function<void()> job);
-  void worker_loop();
+  void enqueue(std::function<void()> job) CHRONOS_EXCLUDES(mutex_);
+  void worker_loop() CHRONOS_EXCLUDES(mutex_);
 
+  /// Touched only by the constructor (spawn) and destructor (join);
+  /// workers never inspect the thread table, so it needs no lock.
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable wakeup_;
-  bool stopping_ = false;
+  chronos::Mutex mutex_;
+  chronos::CondVar wakeup_;
+  std::queue<std::function<void()>> queue_ CHRONOS_GUARDED_BY(mutex_);
+  bool stopping_ CHRONOS_GUARDED_BY(mutex_) = false;
 };
 
 /// Maps `fn(i)` over i in [0, n) on an existing (persistent) pool,

@@ -27,7 +27,7 @@ class WaypointWalk {
  private:
   std::vector<geom::Vec2> waypoints_;
   std::vector<double> arrival_times_;
-  double speed_mps_;
+  double speed_mps_ = 0.0;
 };
 
 }  // namespace chronos::drone

@@ -27,8 +27,8 @@ double median(std::span<const double> v);
 
 /// One point of an empirical CDF.
 struct CdfPoint {
-  double value;       ///< sample value
-  double cumulative;  ///< fraction of samples <= value, in (0, 1]
+  double value = 0.0;       ///< sample value
+  double cumulative = 0.0;  ///< fraction of samples <= value, in (0, 1]
 };
 
 /// Builds the full empirical CDF (sorted samples with cumulative fractions).

@@ -34,7 +34,7 @@ class LinkModel {
   const std::vector<Outage>& outages() const { return outages_; }
 
  private:
-  double capacity_bps_;
+  double capacity_bps_ = 0.0;
   std::vector<Outage> outages_;
 };
 

@@ -36,8 +36,8 @@ class EventScheduler {
 
  private:
   struct Entry {
-    double at_s;
-    std::uint64_t seq;  // FIFO tie-break
+    double at_s = 0.0;
+    std::uint64_t seq = 0;  // FIFO tie-break
     EventFn fn;
   };
   struct Later {

@@ -118,6 +118,8 @@ int main(int argc, char** argv) {
   // Mutants per corpus file; CHRONOS_FUZZ_MUTANTS overrides (the CTest
   // fuzz-smoke step keeps the default so sanitizer runs stay quick).
   int mutants = 256;
+  // Single-threaded driver startup; nothing concurrent reads the env.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   if (const char* env = std::getenv("CHRONOS_FUZZ_MUTANTS")) {
     mutants = std::atoi(env);
   }

@@ -1,0 +1,14 @@
+// Negative fixture for scripts/lint/check_determinism.py: src/core is a
+// determinism-contract layer, so ambient entropy is banned there. The
+// CTest case lint_determinism_fixture points the lint at this tree and is
+// registered WILL_FAIL — the lint must reject every construct below.
+#include <random>
+
+namespace chronos::core {
+
+int bad_entropy() {
+  std::random_device rd;  // banned: ambient entropy
+  return static_cast<int>(rd());
+}
+
+}  // namespace chronos::core

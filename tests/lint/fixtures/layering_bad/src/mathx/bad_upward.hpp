@@ -1,0 +1,12 @@
+// Negative fixture for scripts/lint/check_layering.py: mathx is the
+// bottom layer and may not include anything above itself. The CTest case
+// lint_layering_fixture points the lint at this tree and is registered
+// WILL_FAIL — if the lint ever stops rejecting this edge, the fixture
+// test fails and the regression is caught.
+#pragma once
+
+#include "core/engine.hpp"  // illegal: mathx -> core is an upward edge
+
+namespace chronos::mathx {
+inline int bad_upward() { return 0; }
+}  // namespace chronos::mathx
