@@ -98,8 +98,14 @@ BatchHandle submit_ranging_batch(
       std::numeric_limits<std::size_t>::max()));
   state->threads_used = static_cast<int>(
       std::min(pool_size, std::max<std::size_t>(1, n)));
-  for (const auto& request : requests) {
-    (void)state->session.submit_resolved(request);
+  // Admit in groups: each group becomes one pool job draining a multi-RHS
+  // solver panel (see submit_resolved_group). Tickets stay consecutive, so
+  // ticket i == request index i exactly as before, and every result is
+  // bit-identical to one-by-one admission.
+  const std::size_t group = ranging_solve_group(n, pool_size);
+  for (std::size_t lo = 0; lo < n; lo += group) {
+    const std::size_t hi = std::min(n, lo + group);
+    (void)state->session.submit_resolved_group(requests.subspan(lo, hi - lo));
   }
 
   BatchHandle handle;
@@ -131,37 +137,68 @@ BatchResult run_ranging_batch(const SweepSource& source,
   // Backend failures land in the result's status; jobs never throw for
   // request-shaped reasons. Slots that failed upstream short-circuit
   // before the backend (and before their split stream) is touched.
-  auto process = [&](std::size_t i) {
-    if (!prefailed.empty() && !prefailed[i].ok()) {
-      RangingResult failed;
-      failed.status = prefailed[i];
-      return failed;
+  //
+  // Requests are processed in groups so FISTA pipelines drain each group
+  // through one RangingPipeline::estimate_batch (multi-RHS solver panel)
+  // instead of paying per-request solve setup. Every slot's split stream,
+  // failure routing, and estimate are bit-identical to per-request
+  // processing — grouping is purely an amortisation.
+  const std::size_t n = requests.size();
+  auto process_group = [&](std::size_t lo, std::size_t hi) {
+    std::vector<RangingResult> results(hi - lo);
+    std::vector<phy::SweepMeasurement> sweeps;
+    std::vector<std::size_t> slots;
+    sweeps.reserve(hi - lo);
+    slots.reserve(hi - lo);
+    for (std::size_t i = lo; i < hi; ++i) {
+      if (!prefailed.empty() && !prefailed[i].ok()) {
+        results[i - lo].status = prefailed[i];
+        continue;
+      }
+      mathx::Rng child = base.split(static_cast<std::uint64_t>(i));
+      auto sweep = source.sweep_for(requests[i], child);
+      if (!sweep.ok()) {
+        results[i - lo].status = sweep.status();
+        continue;
+      }
+      sweeps.push_back(std::move(sweep).value());
+      slots.push_back(i - lo);
     }
-    mathx::Rng child = base.split(static_cast<std::uint64_t>(i));
-    auto sweep = source.sweep_for(requests[i], child);
-    if (!sweep.ok()) {
-      RangingResult failed;
-      failed.status = sweep.status();
-      return failed;
+    if (!sweeps.empty()) {
+      auto estimates = pipeline.estimate_batch(sweeps, calibration);
+      for (std::size_t k = 0; k < slots.size(); ++k) {
+        results[slots[k]] = std::move(estimates[k]);
+      }
     }
-    return pipeline.estimate(sweep.value(), calibration);
+    return results;
   };
+  const std::size_t group =
+      ranging_solve_group(n, static_cast<std::size_t>(threads));
 
   if (threads <= 1) {
     // Inline on the calling thread: the sequential split-stream reference
     // the determinism tests compare every parallel run against.
     out.threads_used = 1;
-    out.results.reserve(requests.size());
-    for (std::size_t i = 0; i < requests.size(); ++i) {
-      out.results.push_back(process(i));
+    out.results.reserve(n);
+    for (std::size_t lo = 0; lo < n; lo += group) {
+      auto chunk = process_group(lo, std::min(n, lo + group));
+      for (auto& result : chunk) out.results.push_back(std::move(result));
     }
   } else {
     if (pool == nullptr) {
       pool = std::make_shared<WorkerPool>(static_cast<std::size_t>(threads));
     }
     out.threads_used = static_cast<int>(
-        std::min(pool->size(), std::max<std::size_t>(1, requests.size())));
-    out.results = parallel_map_on(*pool, requests.size(), process);
+        std::min(pool->size(), std::max<std::size_t>(1, n)));
+    const std::size_t n_groups = (n + group - 1) / group;
+    auto chunks = parallel_map_on(*pool, n_groups, [&](std::size_t g) {
+      const std::size_t lo = g * group;
+      return process_group(lo, std::min(n, lo + group));
+    });
+    out.results.reserve(n);
+    for (auto& chunk : chunks) {
+      for (auto& result : chunk) out.results.push_back(std::move(result));
+    }
   }
 
   // Diagnostic only; see above. lint:allow(nondeterminism)

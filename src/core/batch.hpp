@@ -143,6 +143,10 @@ BatchHandle submit_ranging_batch(
 /// pool is spawned for the call (the pre-session behavior); passing a
 /// persistent pool reuses its long-lived workers — and their warmed
 /// thread-local solver workspaces — across batches.
+///
+/// FISTA pipelines drain requests in groups of ranging_solve_group()
+/// through RangingPipeline::estimate_batch (the multi-RHS solver panel);
+/// every result stays bit-identical to per-request processing.
 BatchResult run_ranging_batch(const SweepSource& source,
                               const RangingPipeline& pipeline,
                               const CalibrationTable& calibration,

@@ -43,6 +43,23 @@ struct IstaOptions {
   /// Convergence: stop when ||p_{t+1} - p_t||_2 < epsilon * ||h||_2.
   double epsilon = 1e-4;
   int max_iterations = 4000;
+  /// How the per-iteration gradient is evaluated (see
+  /// NdftPlan::GradientArm):
+  ///  * kAuto — per-iteration cost-model choice between the Toeplitz
+  ///    scatter, the FFT convolution, and the dense arm (the default; on
+  ///    plans without a Toeplitz tier every iteration is dense);
+  ///  * kDense — the legacy fused forward/adjoint on every iteration,
+  ///    bit-identical to rounds 1-2's numerics (the golden reference);
+  ///  * kToeplitzFft — the FFT convolution on every iteration (falls back
+  ///    to kDense on plans without a Toeplitz tier). Mostly a correctness
+  ///    and measurement mode: at the default 35-row problem the dense
+  ///    adjoint is cheaper than the convolution, which pays off only for
+  ///    larger row counts (crossover ~72 rows at m = 1201).
+  /// The arms agree to ~1e-13 relative per gradient; alpha, thresholds and
+  /// iteration structure are shared, so mode only perturbs iterates at
+  /// rounding level (tests pin <= 1e-12 against kDense).
+  enum class GradientMode { kAuto, kDense, kToeplitzFft };
+  GradientMode gradient = GradientMode::kAuto;
 };
 
 /// Result of a sparse inversion.
@@ -88,6 +105,23 @@ class NdftSolver {
   SparseSolveResult solve_fista(std::span<const std::complex<double>> h,
                                 const IstaOptions& opts,
                                 NdftWorkspace& ws) const;
+
+  /// Multi-RHS batched FISTA: solves every channel in `hs` against this
+  /// solver's shared plan through ONE workspace, draining a session's
+  /// queued requests without re-paying per-request plan lookup, workspace
+  /// growth, or cache warm-up. Column k's result is bit-identical to
+  /// solve_fista(hs[k], opts) — per-column arithmetic is deliberately kept
+  /// sequential (lane-interleaved SoA panels were measured 2-15x SLOWER
+  /// per RHS at baseline ISA: the per-column kernels already run at SSE2
+  /// compute peak out of L2, and interleaving wrecks both the stride and
+  /// the active-set sparsity) — so any grouping of requests into batches
+  /// preserves the engine's determinism contract.
+  std::vector<SparseSolveResult> solve_fista_batch(
+      std::span<const std::span<const std::complex<double>>> hs,
+      const IstaOptions& opts = {}) const;
+  std::vector<SparseSolveResult> solve_fista_batch(
+      std::span<const std::span<const std::complex<double>>> hs,
+      const IstaOptions& opts, NdftWorkspace& ws) const;
 
   /// Greedy orthogonal matching pursuit picking `max_paths` atoms
   /// (extension / ablation baseline). The Gram matrix of the active set is

@@ -37,6 +37,16 @@ double DelayGrid::delay_at(std::size_t i) const {
   return min_s + static_cast<double>(i) * step_s;
 }
 
+namespace {
+
+std::size_t next_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
 void NdftWorkspace::bind(std::size_t rows, std::size_t cols) {
   h_re.resize(rows);
   h_im.resize(rows);
@@ -46,10 +56,16 @@ void NdftWorkspace::bind(std::size_t rows, std::size_t cols) {
   grad_im.resize(cols);
   p_re.resize(cols);
   p_im.resize(cols);
-  p_prev_re.resize(cols);
-  p_prev_im.resize(cols);
   y_re.resize(cols);
   y_im.resize(cols);
+  b_re.resize(cols);
+  b_im.resize(cols);
+  // The circulant length is a pure function of cols (matching the plan's
+  // conv_size() whenever that plan is Toeplitz-capable), so the workspace
+  // stays plan-agnostic.
+  const std::size_t conv = cols >= 2 ? next_pow2(2 * cols - 1) : 0;
+  conv_re.resize(conv);
+  conv_im.resize(conv);
   // Reserve up front: the solver loops push nonzero indices per iteration
   // after clear(), which must never reallocate.
   active.reserve(cols);
@@ -105,9 +121,167 @@ NdftPlan::NdftPlan(std::vector<double> row_freqs_hz, DelayGrid grid,
   }
   // The fixed-seed power iteration makes gamma a pure function of the key,
   // which is what lets cached plans reproduce uncached numerics exactly.
+  // All-zero weights give sigma == 0; such degenerate plans must not
+  // assert — gamma = 0 makes the solvers take zero-length steps and
+  // converge immediately to p = 0 (pinned by the degenerate-input tests).
   const double sigma = mathx::spectral_norm(f_);
-  CHRONOS_ENSURES(sigma > 0.0, "NDFT matrix has zero spectral norm");
-  gamma_ = 1.0 / (sigma * sigma);
+  gamma_ = sigma > 0.0 ? 1.0 / (sigma * sigma) : 0.0;
+
+  build_toeplitz();
+}
+
+void NdftPlan::build_toeplitz() {
+  bool finite = std::isfinite(grid_.min_s) && std::isfinite(grid_.step_s);
+  for (std::size_t i = 0; i < n_ && finite; ++i) {
+    finite = std::isfinite(freqs_[i]) && std::isfinite(weights_[i]);
+  }
+  toeplitz_capable_ = m_ >= 2 && gamma_ > 0.0 && grid_.step_s > 0.0 && finite;
+  if (!toeplitz_capable_) return;
+
+  const std::size_t m = m_;
+  // Kernel diagonal g(d) = sum_i w_i^2 e^{-j2π f_i Δ d} for d in [0, m).
+  // The grid origin cancels analytically in conj(F_{i,c}) F_{i,l}, so only
+  // the step Δ enters. Accumulated per row with the constructor's geometric
+  // recurrence, re-anchored from std::polar every kAnchor steps so the
+  // worst-case drift stays ~kAnchor ulps — well inside the 1e-12 iterate
+  // agreement the tests pin against the dense path.
+  constexpr std::size_t kAnchor = 64;
+  std::vector<double> g_re(m, 0.0), g_im(m, 0.0);
+  for (std::size_t i = 0; i < n_; ++i) {
+    const double w2 = weights_[i] * weights_[i];
+    if (w2 == 0.0) continue;
+    const double theta = -mathx::kTwoPi * freqs_[i] * grid_.step_s;
+    const std::complex<double> ratio = std::polar(1.0, theta);
+    std::complex<double> cur(w2, 0.0);
+    for (std::size_t d = 0; d < m; ++d) {
+      if (d % kAnchor == 0) {
+        cur = w2 * std::polar(1.0, theta * static_cast<double>(d));
+      }
+      g_re[d] += cur.real();
+      g_im[d] += cur.imag();
+      cur *= ratio;
+    }
+  }
+
+  // Reversed Toeplitz window: tz_[j] = g(m-1-j), using g(-d) = conj(g(d)).
+  tz_re_.assign(2 * m - 1, 0.0);
+  tz_im_.assign(2 * m - 1, 0.0);
+  for (std::size_t d = 0; d < m; ++d) {
+    tz_re_[m - 1 - d] = g_re[d];
+    tz_im_[m - 1 - d] = g_im[d];
+    tz_re_[m - 1 + d] = g_re[d];
+    tz_im_[m - 1 + d] = -g_im[d];
+  }
+
+  // Circulant embedding of length L = next_pow2(2m-1): conv[c] =
+  // sum_l circ[(c-l) mod L] y[l] must equal sum_l g(l-c) y[l] for c < m,
+  // so circ[d] = g(-d) for d in [0, m) and circ[L-d] = g(d) for d in
+  // [1, m). The zero gap [m, L-m] guarantees the wraparound never
+  // contaminates the first m outputs. Stored as its DIF spectrum
+  // (bit-reversed order — the pointwise product is order-agnostic) with
+  // the unnormalised DIT inverse's 1/L folded in.
+  conv_len_ = next_pow2(2 * m - 1);
+  conv_plan_ = mathx::FftPlan::get_or_create(conv_len_);
+  kerhat_re_.assign(conv_len_, 0.0);
+  kerhat_im_.assign(conv_len_, 0.0);
+  kerhat_re_[0] = g_re[0];
+  kerhat_im_[0] = g_im[0];
+  for (std::size_t d = 1; d < m; ++d) {
+    kerhat_re_[d] = g_re[d];
+    kerhat_im_[d] = -g_im[d];
+    kerhat_re_[conv_len_ - d] = g_re[d];
+    kerhat_im_[conv_len_ - d] = g_im[d];
+  }
+  conv_plan_->dif_forward(kerhat_re_.data(), kerhat_im_.data());
+  const double inv = 1.0 / static_cast<double>(conv_len_);
+  for (std::size_t j = 0; j < conv_len_; ++j) {
+    kerhat_re_[j] *= inv;
+    kerhat_im_[j] *= inv;
+  }
+}
+
+NdftPlan::GradientArm NdftPlan::pick_arm(std::size_t active_count) const {
+  if (!toeplitz_capable_) return GradientArm::kDense;
+  // Cost model in "one pass over the m-column planes" units, calibrated on
+  // the single-core CI container (see bench/BENCH_ndft.json, PR 7 notes):
+  //  * dense fused gradient — the n-row adjoint dominates (the active-set
+  //    forward is nearly free at solver sparsity): ~n units;
+  //  * scatter — one kernel-window pass per active column plus the b
+  //    epilogue: |A| + 1 units;
+  //  * FFT convolution — two split-plane L-point transforms plus the
+  //    pointwise product: 7 L log2(L) / (4 m) units, matching the measured
+  //    55.8 us conv vs 22.5 us dense adjoint at n=35, m=1201, L=4096.
+  // Ties go to the dense reference arm.
+  const double dense_cost = static_cast<double>(n_);
+  const double scatter_cost = static_cast<double>(active_count) + 1.0;
+  const double conv_cost = 7.0 * static_cast<double>(conv_len_) *
+                           std::log2(static_cast<double>(conv_len_)) /
+                           (4.0 * static_cast<double>(m_));
+  if (scatter_cost <= dense_cost && scatter_cost <= conv_cost) {
+    return GradientArm::kScatter;
+  }
+  if (conv_cost < dense_cost) return GradientArm::kConv;
+  return GradientArm::kDense;
+}
+
+void NdftPlan::gradient_toeplitz_scatter(const double* y_re,
+                                         const double* y_im,
+                                         NdftWorkspace& ws) const {
+  CHRONOS_EXPECTS(toeplitz_capable_, "plan has no Toeplitz tier");
+  const std::size_t m = m_;
+  double* CHRONOS_RESTRICT gr = ws.grad_re.data();
+  double* CHRONOS_RESTRICT gi = ws.grad_im.data();
+  std::fill(gr, gr + m, 0.0);
+  std::fill(gi, gi + m, 0.0);
+  for (const std::uint32_t l : ws.active) {
+    const double ylr = y_re[l];
+    const double yli = y_im[l];
+    const double* CHRONOS_RESTRICT er = tz_re_.data() + (m - 1 - l);
+    const double* CHRONOS_RESTRICT ei = tz_im_.data() + (m - 1 - l);
+    for (std::size_t c = 0; c < m; ++c) {
+      gr[c] += ylr * er[c] - yli * ei[c];
+      gi[c] += ylr * ei[c] + yli * er[c];
+    }
+  }
+  const double* CHRONOS_RESTRICT br = ws.b_re.data();
+  const double* CHRONOS_RESTRICT bi = ws.b_im.data();
+  for (std::size_t c = 0; c < m; ++c) {
+    gr[c] -= br[c];
+    gi[c] -= bi[c];
+  }
+}
+
+void NdftPlan::gradient_toeplitz_fft(const double* y_re, const double* y_im,
+                                     NdftWorkspace& ws) const {
+  CHRONOS_EXPECTS(toeplitz_capable_, "plan has no Toeplitz tier");
+  CHRONOS_EXPECTS(ws.conv_re.size() == conv_len_,
+                  "workspace bound to a different shape");
+  const std::size_t m = m_;
+  const std::size_t len = conv_len_;
+  double* CHRONOS_RESTRICT cr = ws.conv_re.data();
+  double* CHRONOS_RESTRICT ci = ws.conv_im.data();
+  std::copy(y_re, y_re + m, cr);
+  std::copy(y_im, y_im + m, ci);
+  std::fill(cr + m, cr + len, 0.0);
+  std::fill(ci + m, ci + len, 0.0);
+  conv_plan_->dif_forward(cr, ci);
+  const double* CHRONOS_RESTRICT kr = kerhat_re_.data();
+  const double* CHRONOS_RESTRICT ki = kerhat_im_.data();
+  for (std::size_t j = 0; j < len; ++j) {
+    const double pr = cr[j] * kr[j] - ci[j] * ki[j];
+    const double pi = cr[j] * ki[j] + ci[j] * kr[j];
+    cr[j] = pr;
+    ci[j] = pi;
+  }
+  conv_plan_->dit_inverse(cr, ci);
+  const double* CHRONOS_RESTRICT br = ws.b_re.data();
+  const double* CHRONOS_RESTRICT bi = ws.b_im.data();
+  double* CHRONOS_RESTRICT gr = ws.grad_re.data();
+  double* CHRONOS_RESTRICT gi = ws.grad_im.data();
+  for (std::size_t c = 0; c < m; ++c) {
+    gr[c] = cr[c] - br[c];
+    gi[c] = ci[c] - bi[c];
+  }
 }
 
 namespace {

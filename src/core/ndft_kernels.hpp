@@ -19,14 +19,23 @@
 //  * Kernels — forward (dense and active-set), adjoint, fused gradient
 //    F^H (F p - h), and a batched recurrence matched-filter scan that
 //    replaces per-sample std::polar calls with one phasor rotation per row.
+//  * Toeplitz tier (round 2) — on the uniform delay grid, T = F^H F is
+//    Toeplitz: T_{c,l} = g(l-c) with g(d) = sum_i w_i^2 e^{-j2π f_i Δ d}.
+//    The plan precomputes the kernel diagonal g once, and the gradient
+//    T y - F^H h is then evaluated either by windowed accumulation over
+//    y's active set (O(|A| m)) or as a circulant convolution via two
+//    cached-plan FFTs of padded pow2 length (O(L log L), independent of
+//    the row count) — with F^H h computed once per solve into the
+//    workspace instead of an O(nm) adjoint per iteration.
 //
 // Numerical contract: the split-complex kernels reproduce the legacy
 // mathx::Matrix path bit-for-bit on dense inputs (identical operation order
 // per component), and the active-set forward skips only columns whose
-// coefficient is exactly zero — so it is bit-identical too. Only the
-// recurrence scans differ from per-point evaluation, at the ~1e-13 relative
-// level over bench-length scans (tests/test_core_ndft_kernels.cpp pins all
-// of this).
+// coefficient is exactly zero — so it is bit-identical too. The recurrence
+// scans differ from per-point evaluation at the ~1e-13 relative level over
+// bench-length scans, and the Toeplitz gradient arms agree with the dense
+// fused gradient to ~1e-13 relative (solver iterates stay within 1e-12 of
+// the dense path; tests/test_core_ndft_kernels.cpp pins all of this).
 #pragma once
 
 #include <complex>
@@ -36,6 +45,7 @@
 #include <span>
 #include <vector>
 
+#include "mathx/fft.hpp"
 #include "mathx/matrix.hpp"
 
 namespace chronos::core {
@@ -62,10 +72,15 @@ struct NdftWorkspace {
   std::vector<double> fp_re, fp_im;
   // Gradient F^H (F p - h) (m).
   std::vector<double> grad_re, grad_im;
-  // Iterates (m). FISTA additionally uses the prev/extrapolated pair.
+  // Iterates (m). FISTA additionally uses the extrapolated point y.
   std::vector<double> p_re, p_im;
-  std::vector<double> p_prev_re, p_prev_im;
   std::vector<double> y_re, y_im;
+  // b = F^H h — the fixed linear term of the Toeplitz gradient T y - b,
+  // computed once per solve (m).
+  std::vector<double> b_re, b_im;
+  // Circulant convolution scratch for the Toeplitz/FFT gradient arm
+  // (next_pow2(2m - 1); unused but still bound for dense-only plans).
+  std::vector<double> conv_re, conv_im;
   // Indices of the (exactly) nonzero columns of the current iterate.
   std::vector<std::uint32_t> active;
 
@@ -101,8 +116,46 @@ class NdftPlan {
   const std::vector<double>& row_weights() const { return weights_; }
   const DelayGrid& grid() const { return grid_; }
   const mathx::ComplexMatrix& matrix() const { return f_; }
-  /// ISTA/FISTA step size 1/||F||_2^2 (paper Algorithm 1).
+  /// ISTA/FISTA step size 1/||F||_2^2 (paper Algorithm 1). Zero for
+  /// degenerate plans (all-zero weights) — the solvers then take
+  /// zero-length steps and converge immediately to p = 0.
   double gamma() const { return gamma_; }
+
+  /// The gradient-evaluation arms of the round-2 kernel tier. kDense is the
+  /// legacy fused forward/adjoint (the golden reference); kScatter
+  /// accumulates Toeplitz-kernel windows over the active set; kConv
+  /// evaluates T y via two cached-plan FFTs on the circulant embedding.
+  enum class GradientArm { kDense, kScatter, kConv };
+
+  /// True when this plan carries the Toeplitz tier: at least two uniform,
+  /// finite grid delays, finite frequencies/weights, and gamma > 0.
+  /// Degenerate plans (single-column grids, all-zero weights, non-finite
+  /// inputs) answer false and every gradient request routes to the dense
+  /// arm instead of asserting.
+  bool toeplitz_capable() const { return toeplitz_capable_; }
+
+  /// Padded pow2 circulant length L = next_pow2(2m - 1); 0 when the plan is
+  /// not Toeplitz-capable.
+  std::size_t conv_size() const { return conv_len_; }
+
+  /// Picks the cheapest gradient arm for an iterate with `active_count`
+  /// nonzero columns. A pure function of (plan, active_count) — batched and
+  /// sequential solves therefore make identical choices, which is what
+  /// keeps solve_fista_batch bit-identical to one-by-one solve_fista.
+  GradientArm pick_arm(std::size_t active_count) const;
+
+  /// ws.grad = T y - b by windowed accumulation over ws.active (y's nonzero
+  /// columns): grad[c] = sum_{l in A} g(l-c) y[l] - b[c]. Requires ws.b to
+  /// hold F^H h and the plan to be toeplitz_capable().
+  void gradient_toeplitz_scatter(const double* y_re, const double* y_im,
+                                 NdftWorkspace& ws) const;
+
+  /// ws.grad = T y - b via the circulant FFT convolution: pad y to
+  /// conv_size(), DIF-transform with the cached plan, multiply by the
+  /// precomputed circulant spectrum (1/L folded in), DIT-invert, subtract
+  /// b. Requires ws.b to hold F^H h and the plan to be toeplitz_capable().
+  void gradient_toeplitz_fft(const double* y_re, const double* y_im,
+                             NdftWorkspace& ws) const;
 
   /// out = F p (dense): out_re/out_im and p_re/p_im are length rows()/cols().
   void forward(const double* p_re, const double* p_im, double* out_re,
@@ -139,6 +192,8 @@ class NdftPlan {
                         double u) const;
 
  private:
+  void build_toeplitz();
+
   std::vector<double> freqs_;
   std::vector<double> weights_;
   DelayGrid grid_;
@@ -149,6 +204,18 @@ class NdftPlan {
   // Legacy dense representation (public matrix() API, OMP atom algebra).
   mathx::ComplexMatrix f_;
   double gamma_ = 0.0;
+  // Toeplitz tier (empty unless toeplitz_capable_). tz_[j] = g(m-1-j) for
+  // j in [0, 2m-2]: the kernel diagonal stored reversed, so for a fixed
+  // active column l the window tz_ + (m-1-l) reads T_{c,l} = g(l-c) in
+  // ascending c, contiguously.
+  bool toeplitz_capable_ = false;
+  std::vector<double> tz_re_, tz_im_;
+  // Circulant embedding: L = next_pow2(2m-1), the shared FFT plan, and the
+  // DIF spectrum of the circulant first column (bit-reversed order, the
+  // inverse transform's 1/L folded in).
+  std::size_t conv_len_ = 0;
+  std::shared_ptr<const mathx::FftPlan> conv_plan_;
+  std::vector<double> kerhat_re_, kerhat_im_;
 };
 
 }  // namespace chronos::core

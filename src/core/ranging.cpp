@@ -44,7 +44,7 @@ RangingPipeline::RangingPipeline(const std::vector<phy::WifiBand>& bands,
   CHRONOS_EXPECTS(!bands_.empty(), "pipeline needs at least one band");
 }
 
-RangingResult RangingPipeline::estimate(
+RangingPipeline::PreparedSweep RangingPipeline::prepare(
     const phy::SweepMeasurement& sweep,
     const CalibrationTable& calibration) const {
   CHRONOS_EXPECTS(sweep.bands.size() == bands_.size(),
@@ -61,28 +61,79 @@ RangingResult RangingPipeline::estimate(
     toa_acc += combined[i].toa_slope_s;
     snr_acc += combined[i].snr_db;
   }
-  const double field_snr_db = snr_acc / static_cast<double>(combined.size());
-  // Weighted data term: rows scaled identically to the solver's F matrix.
-  const auto h = solver_.apply_weights(raw);
 
-  SparseSolveResult solution;
+  PreparedSweep prep;
+  prep.toa_s = toa_acc / static_cast<double>(combined.size());
+  prep.field_snr_db = snr_acc / static_cast<double>(combined.size());
+  // Weighted data term: rows scaled identically to the solver's F matrix.
+  prep.h = solver_.apply_weights(raw);
+  return prep;
+}
+
+SparseSolveResult RangingPipeline::solve_one(
+    std::span<const std::complex<double>> h) const {
   switch (config_.solver) {
     case SparseSolverKind::kIsta:
-      solution = solver_.solve_ista(h, config_.solver_options);
-      break;
+      return solver_.solve_ista(h, config_.solver_options);
     case SparseSolverKind::kFista:
-      solution = solver_.solve_fista(h, config_.solver_options);
-      break;
+      return solver_.solve_fista(h, config_.solver_options);
     case SparseSolverKind::kOmp:
-      solution = solver_.solve_omp(h, config_.omp_paths);
-      break;
+      return solver_.solve_omp(h, config_.omp_paths);
   }
+  return {};
+}
+
+RangingResult RangingPipeline::estimate(
+    const phy::SweepMeasurement& sweep,
+    const CalibrationTable& calibration) const {
+  PreparedSweep prep = prepare(sweep, calibration);
+  SparseSolveResult solution = solve_one(prep.h);
+  return finish(prep, std::move(solution), calibration);
+}
+
+std::vector<RangingResult> RangingPipeline::estimate_batch(
+    std::span<const phy::SweepMeasurement> sweeps,
+    const CalibrationTable& calibration) const {
+  std::vector<PreparedSweep> preps;
+  preps.reserve(sweeps.size());
+  for (const auto& sweep : sweeps) {
+    preps.push_back(prepare(sweep, calibration));
+  }
+
+  std::vector<RangingResult> out;
+  out.reserve(sweeps.size());
+  if (config_.solver == SparseSolverKind::kFista && !preps.empty()) {
+    // Multi-RHS panel: one shared plan/workspace across the group. Each
+    // column solves bit-identically to a standalone solve_fista, so
+    // grouping never perturbs results (the determinism tests compare
+    // batched against one-by-one estimates bitwise).
+    std::vector<std::span<const std::complex<double>>> hs;
+    hs.reserve(preps.size());
+    for (const auto& prep : preps) hs.emplace_back(prep.h);
+    auto solutions =
+        solver_.solve_fista_batch(hs, config_.solver_options);
+    for (std::size_t i = 0; i < preps.size(); ++i) {
+      out.push_back(finish(preps[i], std::move(solutions[i]), calibration));
+    }
+  } else {
+    for (const auto& prep : preps) {
+      out.push_back(finish(prep, solve_one(prep.h), calibration));
+    }
+  }
+  return out;
+}
+
+RangingResult RangingPipeline::finish(const PreparedSweep& prep,
+                                      SparseSolveResult solution,
+                                      const CalibrationTable& calibration) const {
+  const auto& h = prep.h;
+  const double field_snr_db = prep.field_snr_db;
 
   RangingResult out;
   out.profile = extract_profile(solution, config_.profile);
   out.delay_axis_scale = delay_axis_scale(config_.combining);
   out.solver_iterations = solution.iterations;
-  out.toa_s = toa_acc / static_cast<double>(combined.size());
+  out.toa_s = prep.toa_s;
 
   // ---- Direct-path selection ------------------------------------------
   // 1. Candidates: sparse-profile clusters above the amplitude threshold.

@@ -1,5 +1,6 @@
 #include "core/session.hpp"
 
+#include <algorithm>
 #include <exception>
 #include <map>
 #include <utility>
@@ -66,6 +67,56 @@ RangingResult range_one(const Shared& shared, std::uint64_t ticket,
                      "non-exception throw while ranging"};
   }
   return result;
+}
+
+/// Ranges a whole admitted group on one worker. Per-ticket split streams
+/// and sweep failures are exactly what range_one would produce for each
+/// ticket; the good sweeps then drain through ONE
+/// RangingPipeline::estimate_batch (the multi-RHS solver panel), and an
+/// index scatter re-aligns the estimates with their tickets. Anything
+/// thrown is a library defect: once the shared panel solve has failed, no
+/// per-ticket result can be trusted, so every ticket in the group reports
+/// kInternal.
+std::vector<RangingResult> range_group(
+    const Shared& shared, std::uint64_t first_ticket,
+    std::span<const ResolvedRequest> requests) {
+  std::vector<RangingResult> results(requests.size());
+  try {
+    std::vector<phy::SweepMeasurement> sweeps;
+    std::vector<std::size_t> slots;
+    sweeps.reserve(requests.size());
+    slots.reserve(requests.size());
+    for (std::size_t j = 0; j < requests.size(); ++j) {
+      mathx::Rng child =
+          shared.base.split(first_ticket + static_cast<std::uint64_t>(j));
+      auto sweep = shared.source->sweep_for(requests[j], child);
+      if (!sweep.ok()) {
+        results[j].status = sweep.status();
+        continue;
+      }
+      sweeps.push_back(std::move(sweep).value());
+      slots.push_back(j);
+    }
+    if (!sweeps.empty()) {
+      auto estimates =
+          shared.pipeline->estimate_batch(sweeps, *shared.calibration);
+      for (std::size_t k = 0; k < slots.size(); ++k) {
+        results[slots[k]] = std::move(estimates[k]);
+      }
+    }
+  } catch (const std::exception& e) {
+    for (auto& result : results) {
+      result = RangingResult{};
+      result.status = {chronos::StatusCode::kInternal, e.what()};
+    }
+  } catch (...) {
+    for (auto& result : results) {
+      result = RangingResult{};
+      result.status = {chronos::StatusCode::kInternal,
+                       "non-exception throw while ranging"};
+    }
+  }
+  return results;
 }
 
 void complete(const std::shared_ptr<Shared>& shared, std::uint64_t ticket,
@@ -165,6 +216,40 @@ std::uint64_t RangingSession::submit_resolved(const ResolvedRequest& request) {
     complete(payload, ticket, range_one(*payload, ticket, request));
   });
   return ticket;
+}
+
+std::uint64_t RangingSession::submit_resolved_group(
+    std::span<const ResolvedRequest> requests) {
+  CHRONOS_EXPECTS(state_ != nullptr,
+                  "submit_resolved_group() on an invalid session");
+  CHRONOS_EXPECTS(!requests.empty(),
+                  "submit_resolved_group() needs at least one request");
+  CHRONOS_EXPECTS(requests.size() <= state_->depth,
+                  "group larger than queue depth would never admit");
+  auto& shared = *state_->shared;
+  std::uint64_t first = 0;
+  {
+    chronos::MutexLock lock(shared.mutex);
+    shared.cv.wait(shared.mutex, [&]() CHRONOS_REQUIRES(shared.mutex) {
+      return shared.submitted - shared.finished + requests.size() <=
+             state_->depth;
+    });
+    first = shared.submitted;
+    shared.submitted += requests.size();
+  }
+  auto payload = state_->shared;
+  std::vector<ResolvedRequest> group(requests.begin(), requests.end());
+  (void)state_->pool->submit([payload, first, group = std::move(group)]() {
+    auto results = range_group(*payload, first, group);
+    // Completion happens per ticket (not atomically for the group) so
+    // in-order collectors wake as early as possible; depth accounting only
+    // needs `finished` to be monotone.
+    for (std::size_t j = 0; j < results.size(); ++j) {
+      complete(payload, first + static_cast<std::uint64_t>(j),
+               std::move(results[j]));
+    }
+  });
+  return first;
 }
 
 std::uint64_t RangingSession::push_failed(chronos::Status status) {
@@ -279,6 +364,16 @@ RangingSession open_ranging_session(
   RangingSession session;
   session.state_ = std::move(state);
   return session;
+}
+
+std::size_t ranging_solve_group(std::size_t n_requests, std::size_t threads) {
+  // 8 RHS per panel is where the measured per-RHS gain of the multi-RHS
+  // FISTA path flattens out (plan lookup + workspace growth are fully
+  // amortised); wider groups only hurt parallel load balance.
+  constexpr std::size_t kMaxGroup = 8;
+  if (threads <= 1) return kMaxGroup;
+  return std::min(kMaxGroup,
+                  std::max<std::size_t>(1, n_requests / (threads * 4)));
 }
 
 }  // namespace chronos::core

@@ -29,6 +29,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "core/calibration.hpp"
@@ -81,6 +82,18 @@ class RangingSession {
 
   /// Pre-resolved admission (the engine/batch adapters): blocking.
   std::uint64_t submit_resolved(const ResolvedRequest& request);
+  /// Pre-resolved admission of a whole group: claims requests.size()
+  /// consecutive tickets and ranges them with ONE pool job that drains the
+  /// group through RangingPipeline::estimate_batch — the multi-RHS FISTA
+  /// panel that shares one solver plan/workspace across the group instead
+  /// of paying per-request solve setup. Every ticket's result is
+  /// bit-identical to submitting the same request through submit_resolved
+  /// (grouping is purely an amortisation; the determinism contract is
+  /// untouched). Blocks until the queue has room for the whole group;
+  /// `requests` must be non-empty and no larger than queue_depth().
+  /// Returns the first ticket (the group's tickets are consecutive).
+  std::uint64_t submit_resolved_group(
+      std::span<const ResolvedRequest> requests);
   /// Pre-resolved admission: non-blocking; nullopt when the queue is full.
   std::optional<std::uint64_t> try_submit_resolved(
       const ResolvedRequest& request);
@@ -126,5 +139,12 @@ RangingSession open_ranging_session(
     std::shared_ptr<const RangingPipeline> pipeline,
     std::shared_ptr<const CalibrationTable> calibration, mathx::Rng& rng,
     std::size_t queue_depth);
+
+/// Group size the ingestion adapters use when draining `n_requests`
+/// through multi-RHS solves on `threads` workers. Large groups amortise
+/// per-request solve setup; small groups keep every worker busy. Inline
+/// (`threads <= 1`) runs take the full multi-RHS width; parallel runs cap
+/// the group so at least ~4 groups land on every worker for load balance.
+std::size_t ranging_solve_group(std::size_t n_requests, std::size_t threads);
 
 }  // namespace chronos::core

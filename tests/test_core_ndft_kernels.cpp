@@ -503,6 +503,177 @@ TEST(NdftKernels, SolveLoopsAllocateNothingPerIteration) {
       << "FISTA allocation count grew with the iteration budget";
 }
 
+// ---- Toeplitz/FFT gradient tier ------------------------------------------
+//
+// F^H F is Toeplitz on a uniform delay grid; round 2 adds a windowed
+// scatter arm and a circulant-FFT arm for the per-iteration gradient. The
+// dense fused arm stays the golden reference: the arms agree to ~1e-13
+// relative per gradient, and whole solves under the forced-FFT mode pin to
+// the dense mode at <= 1e-12 with identical iteration structure.
+
+TEST(NdftToeplitz, GradientArmsMatchDenseGradient) {
+  const auto freqs = plan_frequencies();
+  const DelayGrid grid{0.0, 150e-9, 0.125e-9};  // default ranging grid
+  NdftSolver solver(freqs, grid);
+  const NdftPlan& plan = solver.plan();
+  ASSERT_TRUE(plan.toeplitz_capable());
+  const auto& f = solver.matrix();
+  const std::size_t n = f.rows();
+  const std::size_t m = f.cols();
+
+  mathx::Rng rng(515);
+  const auto h = random_channel(rng, freqs);
+  NdftWorkspace ws;
+  ws.bind(n, m);
+  for (std::size_t i = 0; i < n; ++i) {
+    ws.h_re[i] = h[i].real();
+    ws.h_im[i] = h[i].imag();
+  }
+  // The Toeplitz arms consume the cached adjoint b = F^H h.
+  plan.adjoint(ws.h_re.data(), ws.h_im.data(), ws.b_re.data(),
+               ws.b_im.data());
+
+  // A sparse iterate with a live active set (the solver's steady state).
+  std::vector<std::complex<double>> p(m, {0.0, 0.0});
+  std::fill(ws.p_re.begin(), ws.p_re.end(), 0.0);
+  std::fill(ws.p_im.begin(), ws.p_im.end(), 0.0);
+  ws.active.clear();
+  for (int j = 0; j < 9; ++j) {
+    const auto k = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<int>(m) - 1));
+    if (p[k] != std::complex<double>{}) continue;
+    p[k] = rng.complex_gaussian(1.0);
+    ws.p_re[k] = p[k].real();
+    ws.p_im[k] = p[k].imag();
+  }
+  for (std::size_t k = 0; k < m; ++k) {
+    if (p[k] != std::complex<double>{}) {
+      ws.active.push_back(static_cast<std::uint32_t>(k));
+    }
+  }
+
+  plan.gradient(ws.p_re.data(), ws.p_im.data(), ws);
+  std::vector<std::complex<double>> dense(m);
+  for (std::size_t k = 0; k < m; ++k) {
+    dense[k] = {ws.grad_re[k], ws.grad_im[k]};
+  }
+
+  plan.gradient_toeplitz_scatter(ws.p_re.data(), ws.p_im.data(), ws);
+  std::vector<std::complex<double>> scatter(m);
+  for (std::size_t k = 0; k < m; ++k) {
+    scatter[k] = {ws.grad_re[k], ws.grad_im[k]};
+  }
+  EXPECT_LE(max_rel_err(scatter, dense), 1e-12);
+
+  plan.gradient_toeplitz_fft(ws.p_re.data(), ws.p_im.data(), ws);
+  std::vector<std::complex<double>> conv(m);
+  for (std::size_t k = 0; k < m; ++k) {
+    conv[k] = {ws.grad_re[k], ws.grad_im[k]};
+  }
+  EXPECT_LE(max_rel_err(conv, dense), 1e-12);
+}
+
+TEST(NdftToeplitz, SolverModesPinToDenseMode) {
+  const auto freqs = plan_frequencies();
+  const DelayGrid grid{0.0, 150e-9, 0.125e-9};
+  NdftSolver solver(freqs, grid);
+
+  IstaOptions dense_opts;
+  dense_opts.gradient = IstaOptions::GradientMode::kDense;
+  IstaOptions fft_opts;
+  fft_opts.gradient = IstaOptions::GradientMode::kToeplitzFft;
+  IstaOptions auto_opts;  // default kAuto
+
+  for (std::uint64_t seed : {909u, 910u}) {
+    mathx::Rng rng(seed);
+    const auto h = random_channel(rng, freqs);
+
+    const auto f_dense = solver.solve_fista(h, dense_opts);
+    for (const auto* opts : {&fft_opts, &auto_opts}) {
+      const auto got = solver.solve_fista(h, *opts);
+      EXPECT_EQ(got.iterations, f_dense.iterations);
+      EXPECT_EQ(got.converged, f_dense.converged);
+      EXPECT_LE(max_rel_err(got.coefficients, f_dense.coefficients), 1e-12);
+      EXPECT_NEAR(got.residual_norm, f_dense.residual_norm,
+                  1e-12 * std::max(1.0, f_dense.residual_norm));
+    }
+
+    // ISTA takes ~6x more iterations; a fixed budget keeps the test fast
+    // while still comparing hundreds of gradient evaluations per arm.
+    IstaOptions ista_dense = dense_opts;
+    ista_dense.max_iterations = 400;
+    IstaOptions ista_fft = fft_opts;
+    ista_fft.max_iterations = 400;
+    const auto i_dense = solver.solve_ista(h, ista_dense);
+    const auto i_fft = solver.solve_ista(h, ista_fft);
+    EXPECT_EQ(i_fft.iterations, i_dense.iterations);
+    EXPECT_EQ(i_fft.converged, i_dense.converged);
+    EXPECT_LE(max_rel_err(i_fft.coefficients, i_dense.coefficients), 1e-12);
+  }
+}
+
+TEST(NdftToeplitz, DegenerateProblemsRouteToDenseArmWithoutAsserting) {
+  const auto freqs = plan_frequencies();
+  mathx::Rng rng(616);
+  const auto h = random_channel(rng, freqs);
+
+  struct Case {
+    const char* name;
+    DelayGrid grid;
+    std::vector<double> weights;  // empty = default all-ones
+    bool zero_channel;
+    bool expect_capable;
+  };
+  const std::vector<double> zero_w(freqs.size(), 0.0);
+  const std::vector<Case> cases = {
+      // One grid column: no Toeplitz structure to exploit.
+      {"single-column grid", {0.0, 0.4e-9, 1e-9}, {}, false, false},
+      // All-zero row weights: F == 0, sigma == 0, gamma must degrade to 0
+      // (not trip the old gamma > 0 postcondition).
+      {"zero weights", {0.0, 20e-9, 0.5e-9}, zero_w, false, false},
+      // Zero measurement on a healthy plan: effective alpha is 0 and every
+      // gradient is exactly zero in every arm.
+      {"zero channel", {0.0, 20e-9, 0.5e-9}, {}, true, true},
+  };
+
+  for (const auto& c : cases) {
+    SCOPED_TRACE(c.name);
+    NdftSolver solver(freqs, c.grid, c.weights);
+    EXPECT_EQ(solver.plan().toeplitz_capable(), c.expect_capable);
+    if (!c.weights.empty()) {
+      EXPECT_EQ(solver.gamma(), 0.0);
+    }
+
+    const std::vector<std::complex<double>> zero_h(freqs.size(), {0.0, 0.0});
+    const auto& use_h = c.zero_channel ? zero_h : h;
+
+    IstaOptions dense_opts;
+    dense_opts.gradient = IstaOptions::GradientMode::kDense;
+    IstaOptions fft_opts;
+    fft_opts.gradient = IstaOptions::GradientMode::kToeplitzFft;
+    IstaOptions auto_opts;
+
+    // Every mode must run (not assert) and produce the identical solve: on
+    // incapable plans all modes are literally the dense arm, and on the
+    // zero channel every arm computes exactly zero gradients.
+    const auto r_dense = solver.solve_fista(use_h, dense_opts);
+    const auto r_fft = solver.solve_fista(use_h, fft_opts);
+    const auto r_auto = solver.solve_fista(use_h, auto_opts);
+    for (const auto* r : {&r_fft, &r_auto}) {
+      EXPECT_EQ(r->iterations, r_dense.iterations);
+      EXPECT_EQ(r->converged, r_dense.converged);
+      EXPECT_TRUE(r->coefficients == r_dense.coefficients)
+          << "degenerate solve differs across gradient modes";
+    }
+    if (c.zero_channel) {
+      for (const auto& v : r_dense.coefficients) {
+        EXPECT_EQ(v, (std::complex<double>{0.0, 0.0}));
+      }
+      EXPECT_TRUE(r_dense.converged);
+    }
+  }
+}
+
 // ---- Plan cache ----------------------------------------------------------
 
 TEST(NdftPlanCache, SharesPlansByExactKey) {

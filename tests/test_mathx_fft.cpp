@@ -107,5 +107,195 @@ TEST(Fft, NonPow2InPlaceThrows) {
   EXPECT_THROW(fft_pow2(x), std::invalid_argument);
 }
 
+// ---- FftPlan (cached twiddles / bit-reversal / Bluestein) ----------------
+//
+// The free functions were rewritten over cached FftPlan tables; the rewrite
+// is required to be BIT-identical to the pre-plan implementation (golden
+// figure outputs depend on fft numerics through the OFDM sim). The legacy
+// implementation is reimplemented verbatim here as the oracle.
+
+namespace legacy {
+
+void fft_radix2(cvec& a, int sign) {
+  const std::size_t n = a.size();
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang = sign * kTwoPi / static_cast<double>(len);
+    const std::complex<double> wlen(std::cos(ang), std::sin(ang));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> u = a[i + k];
+        const std::complex<double> v = a[i + k + len / 2] * w;
+        a[i + k] = u + v;
+        a[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+void fft_pow2(cvec& d) { fft_radix2(d, -1); }
+
+void ifft_pow2(cvec& d) {
+  fft_radix2(d, +1);
+  const double inv = 1.0 / static_cast<double>(d.size());
+  for (auto& v : d) v *= inv;
+}
+
+bool is_pow2(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+std::size_t next_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+cvec fft(const cvec& x) {
+  const std::size_t n = x.size();
+  if (is_pow2(n)) {
+    auto d = x;
+    fft_pow2(d);
+    return d;
+  }
+  const std::size_t m = next_pow2(2 * n - 1);
+  cvec chirp(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    chirp[i] = std::polar(1.0, kPi * static_cast<double>(i) *
+                                   static_cast<double>(i) /
+                                   static_cast<double>(n));
+  }
+  cvec a(m, {0.0, 0.0});
+  cvec b(m, {0.0, 0.0});
+  for (std::size_t i = 0; i < n; ++i) a[i] = x[i] * std::conj(chirp[i]);
+  b[0] = chirp[0];
+  for (std::size_t i = 1; i < n; ++i) b[i] = b[m - i] = chirp[i];
+  fft_pow2(a);
+  fft_pow2(b);
+  for (std::size_t i = 0; i < m; ++i) a[i] *= b[i];
+  ifft_pow2(a);
+  cvec out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = a[i] * std::conj(chirp[i]);
+  return out;
+}
+
+cvec ifft(const cvec& x) {
+  cvec tmp(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) tmp[i] = std::conj(x[i]);
+  auto y = fft(tmp);
+  const double inv = 1.0 / static_cast<double>(x.size());
+  for (auto& v : y) v = std::conj(v) * inv;
+  return y;
+}
+
+}  // namespace legacy
+
+class FftPlanSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftPlanSizes, BitIdenticalToPrePlanImplementation) {
+  const std::size_t n = GetParam();
+  const auto x = random_signal(n, 1000 + n);
+  const auto fwd = fft(x);
+  const auto fwd_ref = legacy::fft(x);
+  const auto inv = ifft(x);
+  const auto inv_ref = legacy::ifft(x);
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(fwd[i], fwd_ref[i]) << "forward n=" << n << " i=" << i;
+    ASSERT_EQ(inv[i], inv_ref[i]) << "inverse n=" << n << " i=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PowersBluesteinAndSolverSizes, FftPlanSizes,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 12, 29, 30,
+                                           35, 53, 64, 100, 128, 1000, 1024,
+                                           1201, 4096));
+
+TEST(FftPlan, CacheReturnsSharedPlans) {
+  FftPlan::clear_cache();
+  const auto a = FftPlan::get_or_create(256);
+  const auto b = FftPlan::get_or_create(256);
+  EXPECT_EQ(a.get(), b.get());  // one table build per size
+  EXPECT_EQ(a->size(), 256u);
+  EXPECT_GE(FftPlan::cache_size(), 1u);
+  const auto c = FftPlan::get_or_create(300);  // Bluestein path
+  EXPECT_NE(c.get(), a.get());
+  FftPlan::clear_cache();
+  EXPECT_EQ(FftPlan::cache_size(), 0u);
+  // Plans handed out before the clear stay valid (shared ownership).
+  const auto x = random_signal(256, 9);
+  auto copy = x;
+  a->forward_pow2(copy);
+  a->inverse_pow2(copy);
+  EXPECT_LT(max_abs_diff(copy, x), 1e-12);
+}
+
+TEST(FftPlan, SplitPlaneRoundTripIsExact) {
+  for (const std::size_t n : {std::size_t{2}, std::size_t{64},
+                              std::size_t{4096}}) {
+    const auto plan = FftPlan::get_or_create(n);
+    const auto x = random_signal(n, 77 + n);
+    std::vector<double> re(n);
+    std::vector<double> im(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      re[i] = x[i].real();
+      im[i] = x[i].imag();
+    }
+    // dif_forward leaves bit-reversed order; dit_inverse consumes it and
+    // returns natural order scaled by n.
+    plan->dif_forward(re.data(), im.data());
+    plan->dit_inverse(re.data(), im.data());
+    const double inv = 1.0 / static_cast<double>(n);
+    double err = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      err = std::max(err, std::hypot(re[i] * inv - x[i].real(),
+                                     im[i] * inv - x[i].imag()));
+    }
+    EXPECT_LT(err, 1e-11) << "n=" << n;
+  }
+}
+
+TEST(FftPlan, SplitPlaneConvolutionTheoremHolds) {
+  // Circular convolution via dif/pointwise(bit-reversed)/dit against the
+  // O(n^2) definition — the identity the NDFT Toeplitz gradient relies on.
+  const std::size_t n = 256;
+  const auto plan = FftPlan::get_or_create(n);
+  const auto x = random_signal(n, 5);
+  const auto y = random_signal(n, 6);
+  std::vector<double> xr(n);
+  std::vector<double> xi(n);
+  std::vector<double> yr(n);
+  std::vector<double> yi(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    xr[i] = x[i].real();
+    xi[i] = x[i].imag();
+    yr[i] = y[i].real();
+    yi[i] = y[i].imag();
+  }
+  plan->dif_forward(xr.data(), xi.data());
+  plan->dif_forward(yr.data(), yi.data());
+  const double inv = 1.0 / static_cast<double>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double pr = (xr[i] * yr[i] - xi[i] * yi[i]) * inv;
+    const double pi = (xr[i] * yi[i] + xi[i] * yr[i]) * inv;
+    xr[i] = pr;
+    xi[i] = pi;
+  }
+  plan->dit_inverse(xr.data(), xi.data());
+  for (std::size_t c = 0; c < n; ++c) {
+    std::complex<double> acc{0.0, 0.0};
+    for (std::size_t l = 0; l < n; ++l) {
+      acc += x[l] * y[(c + n - l) % n];
+    }
+    ASSERT_NEAR(std::abs(acc - std::complex<double>{xr[c], xi[c]}), 0.0,
+                1e-10)
+        << "c=" << c;
+  }
+}
+
 }  // namespace
 }  // namespace chronos::mathx
