@@ -119,11 +119,42 @@ class NodeRegistry {
 // Batch + session option/result types (shared by facade and engine level)
 // ---------------------------------------------------------------------------
 
+/// Which failures a RetryPolicy is allowed to retry: transient backend
+/// outages and per-sweep corruption the detection gate rejected. Everything
+/// else (unknown node, band mismatch, internal defect) is deterministic —
+/// retrying it would yield the identical failure.
+constexpr bool retryable(StatusCode code) {
+  return code == StatusCode::kUnavailable ||
+         code == StatusCode::kIntegrityViolation ||
+         code == StatusCode::kMalformedSweep;
+}
+
+/// Bounded retry-with-backoff for per-request ranging failures.
+///
+/// Attempt a (a >= 1) of ticket i re-draws its sweep from
+/// ticket_stream.split(kRetryStreamTag + a) — a pure function of (seed,
+/// ticket, attempt), so retried tickets stay bit-identical across thread
+/// counts and scheduling (the determinism-under-faults test pins this).
+/// When every allowed attempt fails with a retryable status, the result
+/// reports kRetryExhausted wrapping the last attempt's diagnostic;
+/// a non-retryable failure surfaces immediately, unwrapped.
+struct RetryPolicy {
+  /// Total attempts (first try included). 1 = no retries — bit-identical
+  /// to the pre-retry pipeline.
+  int max_attempts = 1;
+  /// Backoff before retry a is backoff_s * 2^(a-1) of wall-clock sleep.
+  /// 0 (the default, and what tests/benches use) never sleeps — backoff
+  /// only throttles live-capture backends, it never affects results.
+  double backoff_s = 0.0;
+};
+
 struct BatchOptions {
   /// Worker threads. 0 = one per hardware thread; 1 = run inline on the
   /// calling thread (no pool). Clamped to the number of requests. Any value
   /// yields bit-identical results — this knob trades wall-clock only.
   int threads = 0;
+  /// Per-request retry budget for retryable failures.
+  RetryPolicy retry{};
 };
 
 struct BatchResult {
@@ -146,6 +177,8 @@ struct SessionOptions {
   /// Worker threads backing the session (same semantics as BatchOptions;
   /// 0 = one per hardware thread).
   int threads = 0;
+  /// Per-request retry budget for retryable failures.
+  RetryPolicy retry{};
 };
 
 /// Full device-to-device localization output (Engine::locate).

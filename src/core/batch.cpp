@@ -6,6 +6,7 @@
 #include <limits>
 #include <utility>
 
+#include "core/retry.hpp"
 #include "core/worker_pool.hpp"
 #include "mathx/contracts.hpp"
 
@@ -78,7 +79,8 @@ BatchHandle submit_ranging_batch(
     std::shared_ptr<const SweepSource> source,
     std::shared_ptr<const RangingPipeline> pipeline,
     std::shared_ptr<const CalibrationTable> calibration,
-    std::span<const ResolvedRequest> requests, mathx::Rng& rng) {
+    std::span<const ResolvedRequest> requests, mathx::Rng& rng,
+    const chronos::RetryPolicy& retry) {
   CHRONOS_EXPECTS(pool != nullptr, "submit_ranging_batch needs a pool");
   CHRONOS_EXPECTS(source != nullptr && pipeline != nullptr &&
                       calibration != nullptr,
@@ -95,7 +97,7 @@ BatchHandle submit_ranging_batch(
   auto state = std::make_unique<BatchHandle::State>(open_ranging_session(
       std::move(pool), std::move(source), std::move(pipeline),
       std::move(calibration), rng,
-      std::numeric_limits<std::size_t>::max()));
+      std::numeric_limits<std::size_t>::max(), retry));
   state->threads_used = static_cast<int>(
       std::min(pool_size, std::max<std::size_t>(1, n)));
   // Admit in groups: each group becomes one pool job draining a multi-RHS
@@ -169,6 +171,17 @@ BatchResult run_ranging_batch(const SweepSource& source,
       for (std::size_t k = 0; k < slots.size(); ++k) {
         results[slots[k]] = std::move(estimates[k]);
       }
+    }
+    // Retries ride per slot AFTER the shared panel: only failed slots pay
+    // per-request retry solves; prefailed slots (non-retryable by
+    // construction) return from finish_with_retries untouched, their split
+    // streams still unused.
+    for (std::size_t i = lo; i < hi; ++i) {
+      if (!prefailed.empty() && !prefailed[i].ok()) continue;
+      results[i - lo] = finish_with_retries(
+          source, pipeline, calibration, requests[i],
+          base.split(static_cast<std::uint64_t>(i)),
+          std::move(results[i - lo]), options.retry);
     }
     return results;
   };

@@ -106,7 +106,8 @@ class BatchHandle {
       std::shared_ptr<const SweepSource> source,
       std::shared_ptr<const RangingPipeline> pipeline,
       std::shared_ptr<const CalibrationTable> calibration,
-      std::span<const ResolvedRequest> requests, mathx::Rng& rng);
+      std::span<const ResolvedRequest> requests, mathx::Rng& rng,
+      const chronos::RetryPolicy& retry);
   friend BatchHandle make_batch_handle(RangingSession session,
                                        int threads_used);
   struct State;
@@ -120,13 +121,15 @@ BatchHandle make_batch_handle(RangingSession session, int threads_used);
 /// Async entry point: opens an unbounded session (forking `rng` once, so
 /// the caller's stream advances identically to the synchronous path),
 /// admits every request, and returns without waiting. The handle co-owns
-/// every argument, so no lifetime obligation survives the call.
+/// every argument, so no lifetime obligation survives the call. `retry`
+/// bounds per-ticket re-ranging of retryable failures (core/retry.hpp).
 BatchHandle submit_ranging_batch(
     std::shared_ptr<WorkerPool> pool,
     std::shared_ptr<const SweepSource> source,
     std::shared_ptr<const RangingPipeline> pipeline,
     std::shared_ptr<const CalibrationTable> calibration,
-    std::span<const ResolvedRequest> requests, mathx::Rng& rng);
+    std::span<const ResolvedRequest> requests, mathx::Rng& rng,
+    const chronos::RetryPolicy& retry = {});
 
 /// Ranges every request through `pipeline` against sweeps produced by
 /// `source`. Advances `rng` by exactly one fork() regardless of batch size

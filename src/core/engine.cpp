@@ -109,7 +109,11 @@ chronos::Result<RangingResult> ChronosEngine::measure(
   if (!resolved.ok()) return resolved.status();
   auto sweep = source_->sweep_for(resolved.value(), rng);
   if (!sweep.ok()) return sweep.status();
-  return pipeline_->estimate(sweep.value(), *calibration_);
+  auto result = pipeline_->estimate(sweep.value(), *calibration_);
+  // Detection-gate rejections surface as the call's status (single-request
+  // callers have no per-slot status to consult).
+  if (!result.status.ok()) return result.status;
+  return result;
 }
 
 chronos::Result<phy::SweepMeasurement> ChronosEngine::capture_sweep(
@@ -143,7 +147,9 @@ chronos::Result<RangingResult> ChronosEngine::estimate(
     }
   }
   try {
-    return pipeline_->estimate(sweep, *calibration_);
+    auto result = pipeline_->estimate(sweep, *calibration_);
+    if (!result.status.ok()) return result.status;
+    return result;
   } catch (const std::invalid_argument& e) {
     return chronos::Status{chronos::StatusCode::kMalformedSweep, e.what()};
   }
@@ -222,7 +228,7 @@ BatchHandle ChronosEngine::submit_batch(
     const BatchOptions& options) const {
   const int threads = resolve_batch_threads(options, requests.size());
   return submit_ranging_batch(session_pool(threads), source_, pipeline_,
-                              calibration_, requests, rng);
+                              calibration_, requests, rng, options.retry);
 }
 
 BatchHandle ChronosEngine::submit_batch(
@@ -231,7 +237,7 @@ BatchHandle ChronosEngine::submit_batch(
   const int threads = resolve_batch_threads(options, requests.size());
   auto session = open_ranging_session(
       session_pool(threads), source_, pipeline_, calibration_, rng,
-      std::numeric_limits<std::size_t>::max());
+      std::numeric_limits<std::size_t>::max(), options.retry);
   for (const auto& request : requests) {
     auto resolved = source_->resolve(request);
     if (resolved.ok()) {
@@ -255,7 +261,8 @@ RangingSession ChronosEngine::open_session(mathx::Rng& rng,
           ? static_cast<int>(WorkerPool::default_thread_count())
           : options.threads;
   return open_ranging_session(session_pool(threads), source_, pipeline_,
-                              calibration_, rng, options.queue_depth);
+                              calibration_, rng, options.queue_depth,
+                              options.retry);
 }
 
 // ------------------------------------------------------------ localization

@@ -1,6 +1,8 @@
 #include "core/ranging.hpp"
 
 #include <cmath>
+#include <string>
+#include <utility>
 
 #include "mathx/constants.hpp"
 #include "mathx/contracts.hpp"
@@ -86,6 +88,16 @@ SparseSolveResult RangingPipeline::solve_one(
 RangingResult RangingPipeline::estimate(
     const phy::SweepMeasurement& sweep,
     const CalibrationTable& calibration) const {
+  // Detection gate, tier 1: screen the sweep before any math touches it.
+  // A rejection is a typed per-request status, never a throw — one hostile
+  // sweep in a batch must not abort its neighbours.
+  if (chronos::Status gate =
+          screen_sweep(sweep, bands_, config_.integrity);
+      !gate.ok()) {
+    RangingResult out;
+    out.status = std::move(gate);
+    return out;
+  }
   PreparedSweep prep = prepare(sweep, calibration);
   SparseSolveResult solution = solve_one(prep.h);
   return finish(prep, std::move(solution), calibration);
@@ -94,14 +106,26 @@ RangingResult RangingPipeline::estimate(
 std::vector<RangingResult> RangingPipeline::estimate_batch(
     std::span<const phy::SweepMeasurement> sweeps,
     const CalibrationTable& calibration) const {
+  std::vector<RangingResult> out(sweeps.size());
+
+  // Screen first; only surviving sweeps enter the solver panel. The
+  // scatter below keeps slot i's result bit-identical to a standalone
+  // estimate(sweeps[i]) whatever its neighbours do.
+  std::vector<std::size_t> live;
   std::vector<PreparedSweep> preps;
+  live.reserve(sweeps.size());
   preps.reserve(sweeps.size());
-  for (const auto& sweep : sweeps) {
-    preps.push_back(prepare(sweep, calibration));
+  for (std::size_t i = 0; i < sweeps.size(); ++i) {
+    if (chronos::Status gate =
+            screen_sweep(sweeps[i], bands_, config_.integrity);
+        !gate.ok()) {
+      out[i].status = std::move(gate);
+      continue;
+    }
+    live.push_back(i);
+    preps.push_back(prepare(sweeps[i], calibration));
   }
 
-  std::vector<RangingResult> out;
-  out.reserve(sweeps.size());
   if (config_.solver == SparseSolverKind::kFista && !preps.empty()) {
     // Multi-RHS panel: one shared plan/workspace across the group. Each
     // column solves bit-identically to a standalone solve_fista, so
@@ -112,12 +136,12 @@ std::vector<RangingResult> RangingPipeline::estimate_batch(
     for (const auto& prep : preps) hs.emplace_back(prep.h);
     auto solutions =
         solver_.solve_fista_batch(hs, config_.solver_options);
-    for (std::size_t i = 0; i < preps.size(); ++i) {
-      out.push_back(finish(preps[i], std::move(solutions[i]), calibration));
+    for (std::size_t j = 0; j < preps.size(); ++j) {
+      out[live[j]] = finish(preps[j], std::move(solutions[j]), calibration);
     }
   } else {
-    for (const auto& prep : preps) {
-      out.push_back(finish(prep, solve_one(prep.h), calibration));
+    for (std::size_t j = 0; j < preps.size(); ++j) {
+      out[live[j]] = finish(preps[j], solve_one(preps[j].h), calibration);
     }
   }
   return out;
@@ -297,6 +321,53 @@ RangingResult RangingPipeline::finish(const PreparedSweep& prep,
     out.tof_s = u / out.delay_axis_scale;
     out.distance_m = mathx::tof_to_distance(out.tof_s);
     out.detection_delay_s = out.toa_s - out.tof_s;
+  }
+
+  // ---- Detection gate, tier 2: post-solve sanity ----------------------
+  // These need the sparse solution (residual), the peak decision, and the
+  // calibration table, so they cannot live in the pre-solve screen. The
+  // diagnostics (profile, candidates) are kept on a rejection so callers
+  // can audit what the gate saw.
+  const IntegrityConfig& integrity = config_.integrity;
+  if (integrity.check_residual) {
+    double h_energy = 0.0;
+    for (const auto& v : h) h_energy += std::norm(v);
+    const double h_norm = std::sqrt(h_energy);
+    if (h_norm > 0.0 &&
+        solution.residual_norm > integrity.max_residual_ratio * h_norm) {
+      out.status = {chronos::StatusCode::kIntegrityViolation,
+                    "sparse model explains too little of the sweep "
+                    "(residual ratio " +
+                        std::to_string(solution.residual_norm / h_norm) +
+                        " > " +
+                        std::to_string(integrity.max_residual_ratio) +
+                        "): bands disagree about the channel"};
+      return out;
+    }
+  }
+  if (integrity.reject_peakless && !out.peak_found) {
+    out.status = {chronos::StatusCode::kIntegrityViolation,
+                  "no acceptable direct-path peak: the delay profile and "
+                  "the coarse ToA disagree (spoofed delay or corrupted "
+                  "sweep)"};
+    return out;
+  }
+  if (integrity.check_toa_consistency && out.peak_found &&
+      calibration.has_toa_bias) {
+    const phy::DetectionModel model(config_.detection);
+    const double expected_delay =
+        calibration.toa_bias_s +
+        model.expected_delay_s(field_snr_db) -
+        model.expected_delay_s(calibration.calibration_snr_db);
+    const double discrepancy = out.detection_delay_s - expected_delay;
+    if (std::abs(discrepancy) > integrity.max_toa_discrepancy_s) {
+      out.status = {chronos::StatusCode::kIntegrityViolation,
+                    "ToA/ToF inconsistency: detection delay deviates " +
+                        std::to_string(discrepancy * 1e9) +
+                        " ns from the calibrated expectation (delay-offset "
+                        "spoofing)"};
+      return out;
+    }
   }
   return out;
 }

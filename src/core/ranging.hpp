@@ -13,6 +13,7 @@
 #include <span>
 
 #include "core/combining.hpp"
+#include "core/integrity.hpp"
 #include "core/ndft.hpp"
 #include "core/profile.hpp"
 #include "mathx/status.hpp"
@@ -72,6 +73,13 @@ struct RangingConfig {
   /// 0.125 ns grid quantisation discards.
   bool refine_first_peak = true;
   double refine_half_width_s = 0.3e-9;
+  /// Hostile-sweep detection gate (core/integrity.hpp): pre-solve
+  /// screening of every sweep against the pipeline's plan, plus the
+  /// post-solve residual / ToA-consistency / peakless checks. The default
+  /// keeps only the structural screen on, which a plan-matching sweep
+  /// cannot trip — the accuracy goldens pin that a zero-fault pipeline is
+  /// unchanged. IntegrityConfig::hostile() arms everything.
+  IntegrityConfig integrity;
   /// Weight of the 2.4 GHz rows when the quadrant fix raises them to h^8:
   /// the eighth power distorts their magnitudes relative to the shared
   /// sparse model, so they get less authority in the weighted-L2 data term
@@ -104,6 +112,9 @@ struct RangingResult {
   double detection_delay_s = 0.0;
   bool peak_found = false;
   int solver_iterations = 0;
+  /// Ranging attempts consumed (1 without retries; >1 when a RetryPolicy
+  /// re-ranged after retryable failures — see core/retry.hpp).
+  int attempts = 1;
 };
 
 /// Reusable pipeline: the NDFT matrix depends only on (bands, exponents,

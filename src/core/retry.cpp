@@ -1,0 +1,87 @@
+#include "core/retry.hpp"
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "mathx/contracts.hpp"
+
+namespace chronos::core {
+
+namespace {
+
+/// Exponential backoff before retry `attempt` (>= 1). Wall-clock only —
+/// throttles live backends between attempts, never feeds a result.
+/// lint:allow(nondeterminism)
+void backoff_before(const chronos::RetryPolicy& policy, int attempt) {
+  if (policy.backoff_s <= 0.0) return;
+  const double seconds =
+      policy.backoff_s * static_cast<double>(1 << (attempt - 1));
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+}
+
+}  // namespace
+
+RangingResult range_attempt(const SweepSource& source,
+                            const RangingPipeline& pipeline,
+                            const CalibrationTable& calibration,
+                            const ResolvedRequest& request,
+                            mathx::Rng& attempt_rng) {
+  auto sweep = source.sweep_for(request, attempt_rng);
+  if (!sweep.ok()) {
+    RangingResult result;
+    result.status = sweep.status();
+    return result;
+  }
+  return pipeline.estimate(sweep.value(), calibration);
+}
+
+RangingResult finish_with_retries(const SweepSource& source,
+                                  const RangingPipeline& pipeline,
+                                  const CalibrationTable& calibration,
+                                  const ResolvedRequest& request,
+                                  const mathx::Rng& ticket_stream,
+                                  RangingResult first_attempt,
+                                  const chronos::RetryPolicy& policy) {
+  CHRONOS_EXPECTS(policy.max_attempts >= 1,
+                  "RetryPolicy::max_attempts must be >= 1");
+  RangingResult result = std::move(first_attempt);
+  result.attempts = 1;
+  if (policy.max_attempts == 1) return result;  // pre-retry behaviour
+
+  for (int attempt = 1; attempt < policy.max_attempts; ++attempt) {
+    if (result.status.ok() || !chronos::retryable(result.status.code())) {
+      return result;
+    }
+    backoff_before(policy, attempt);
+    mathx::Rng attempt_rng = ticket_stream.split(
+        kRetryStreamTag + static_cast<std::uint64_t>(attempt));
+    result = range_attempt(source, pipeline, calibration, request,
+                           attempt_rng);
+    result.attempts = attempt + 1;
+  }
+
+  if (!result.status.ok() && chronos::retryable(result.status.code())) {
+    result.status = {chronos::StatusCode::kRetryExhausted,
+                     "all " + std::to_string(policy.max_attempts) +
+                         " attempts failed; last: " +
+                         result.status.to_string()};
+  }
+  return result;
+}
+
+RangingResult range_with_retries(const SweepSource& source,
+                                 const RangingPipeline& pipeline,
+                                 const CalibrationTable& calibration,
+                                 const ResolvedRequest& request,
+                                 const mathx::Rng& ticket_stream,
+                                 const chronos::RetryPolicy& policy) {
+  mathx::Rng first_rng = ticket_stream;
+  RangingResult first =
+      range_attempt(source, pipeline, calibration, request, first_rng);
+  return finish_with_retries(source, pipeline, calibration, request,
+                             ticket_stream, std::move(first), policy);
+}
+
+}  // namespace chronos::core

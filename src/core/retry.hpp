@@ -1,0 +1,65 @@
+// Bounded, deterministic retry of per-request ranging failures.
+//
+// The batched runtime's contract says ticket i is a pure function of
+// (source, pipeline, calibration, request, base.split(i)). Retries must not
+// weaken that: attempt a >= 1 of a ticket draws its sweep from
+// ticket_stream.split(kRetryStreamTag + a) — a position-independent child
+// of the SAME per-ticket stream, so which attempts happen and what they
+// measure depend only on (seed, ticket, attempt), never on worker
+// scheduling. Attempt 0 consumes a COPY of the ticket stream exactly the
+// way the retry-free runtime consumed the stream itself, so a
+// RetryPolicy{1} run is bit-identical to the pre-retry pipeline.
+//
+// Both ingestion paths (core/batch.hpp's synchronous groups and
+// core/session.hpp's streaming workers) route their retries through
+// finish_with_retries: the first attempt rides the multi-RHS solver panel
+// as before, and only failed slots pay the per-request retry solves.
+#pragma once
+
+#include <cstdint>
+
+#include "core/api.hpp"
+#include "core/calibration.hpp"
+#include "core/ranging.hpp"
+#include "core/sweep_source.hpp"
+#include "mathx/rng.hpp"
+
+namespace chronos::core {
+
+/// split() tag of the retry attempt streams ("retry" in ASCII); attempt a
+/// uses kRetryStreamTag + a. Offsets keep the streams clear of the fault
+/// tag (core/fault_injection.hpp) and of plain ticket ids.
+inline constexpr std::uint64_t kRetryStreamTag = 0x7265747279ull;
+
+/// One ranging attempt: sweep_for on `attempt_rng`, then the pipeline.
+/// Failures land in the result's status (never thrown).
+RangingResult range_attempt(const SweepSource& source,
+                            const RangingPipeline& pipeline,
+                            const CalibrationTable& calibration,
+                            const ResolvedRequest& request,
+                            mathx::Rng& attempt_rng);
+
+/// Applies `policy` to an already-computed first attempt: while the status
+/// is retryable and attempts remain, re-range on the ticket's retry
+/// streams. Returns the first success, the first non-retryable failure, or
+/// kRetryExhausted wrapping the last retryable diagnostic. The returned
+/// result's `attempts` counts every attempt consumed (first included).
+RangingResult finish_with_retries(const SweepSource& source,
+                                  const RangingPipeline& pipeline,
+                                  const CalibrationTable& calibration,
+                                  const ResolvedRequest& request,
+                                  const mathx::Rng& ticket_stream,
+                                  RangingResult first_attempt,
+                                  const chronos::RetryPolicy& policy);
+
+/// First attempt + retries in one call (the streaming per-ticket path).
+/// Attempt 0 consumes a copy of `ticket_stream` exactly as the retry-free
+/// runtime would consume the stream itself.
+RangingResult range_with_retries(const SweepSource& source,
+                                 const RangingPipeline& pipeline,
+                                 const CalibrationTable& calibration,
+                                 const ResolvedRequest& request,
+                                 const mathx::Rng& ticket_stream,
+                                 const chronos::RetryPolicy& policy);
+
+}  // namespace chronos::core

@@ -5,6 +5,7 @@
 #include <map>
 #include <utility>
 
+#include "core/retry.hpp"
 #include "core/worker_pool.hpp"
 #include "mathx/annotations.hpp"
 #include "mathx/contracts.hpp"
@@ -22,6 +23,7 @@ struct Shared {
   const std::shared_ptr<const SweepSource> source;
   const std::shared_ptr<const RangingPipeline> pipeline;
   const std::shared_ptr<const CalibrationTable> calibration;
+  const chronos::RetryPolicy retry;
 
   mutable chronos::Mutex mutex;
   mutable chronos::CondVar cv;
@@ -36,11 +38,13 @@ struct Shared {
 
   Shared(const mathx::Rng& b, std::shared_ptr<const SweepSource> src,
          std::shared_ptr<const RangingPipeline> pipe,
-         std::shared_ptr<const CalibrationTable> cal)
+         std::shared_ptr<const CalibrationTable> cal,
+         const chronos::RetryPolicy& retry_policy)
       : base(b),
         source(std::move(src)),
         pipeline(std::move(pipe)),
-        calibration(std::move(cal)) {}
+        calibration(std::move(cal)),
+        retry(retry_policy) {}
 };
 
 /// Ranges one resolved request on ticket `ticket`'s split stream. All
@@ -51,13 +55,12 @@ RangingResult range_one(const Shared& shared, std::uint64_t ticket,
                         const ResolvedRequest& request) {
   RangingResult result;
   try {
-    mathx::Rng child = shared.base.split(ticket);
-    auto sweep = shared.source->sweep_for(request, child);
-    if (!sweep.ok()) {
-      result.status = sweep.status();
-      return result;
-    }
-    result = shared.pipeline->estimate(sweep.value(), *shared.calibration);
+    // Ticket stream + retries: attempt 0 consumes a copy of split(ticket)
+    // exactly as the retry-free path consumed the split itself; retry a
+    // draws from split(ticket).split(kRetryStreamTag + a).
+    result = range_with_retries(*shared.source, *shared.pipeline,
+                                *shared.calibration, request,
+                                shared.base.split(ticket), shared.retry);
   } catch (const std::exception& e) {
     result = RangingResult{};
     result.status = {chronos::StatusCode::kInternal, e.what()};
@@ -103,6 +106,15 @@ std::vector<RangingResult> range_group(
       for (std::size_t k = 0; k < slots.size(); ++k) {
         results[slots[k]] = std::move(estimates[k]);
       }
+    }
+    // Retries ride per ticket AFTER the shared panel: only failed slots
+    // pay per-request retry solves, and each retry attempt is a pure
+    // function of its ticket stream — bit-identical to range_one.
+    for (std::size_t j = 0; j < requests.size(); ++j) {
+      results[j] = finish_with_retries(
+          *shared.source, *shared.pipeline, *shared.calibration, requests[j],
+          shared.base.split(first_ticket + static_cast<std::uint64_t>(j)),
+          std::move(results[j]), shared.retry);
     }
   } catch (const std::exception& e) {
     for (auto& result : results) {
@@ -347,17 +359,18 @@ RangingSession open_ranging_session(
     std::shared_ptr<WorkerPool> pool, std::shared_ptr<const SweepSource> source,
     std::shared_ptr<const RangingPipeline> pipeline,
     std::shared_ptr<const CalibrationTable> calibration, mathx::Rng& rng,
-    std::size_t queue_depth) {
+    std::size_t queue_depth, const chronos::RetryPolicy& retry) {
   CHRONOS_EXPECTS(pool != nullptr, "a session needs a worker pool");
   CHRONOS_EXPECTS(source != nullptr && pipeline != nullptr &&
                       calibration != nullptr,
                   "a session needs a source, pipeline, and calibration");
   CHRONOS_EXPECTS(queue_depth >= 1, "queue depth must be >= 1");
+  CHRONOS_EXPECTS(retry.max_attempts >= 1, "max_attempts must be >= 1");
 
   auto state = std::make_shared<RangingSession::State>();
   state->shared = std::make_shared<Shared>(
       rng.fork(kBatchStreamTag), std::move(source), std::move(pipeline),
-      std::move(calibration));
+      std::move(calibration), retry);
   state->pool = std::move(pool);
   state->depth = queue_depth;
 

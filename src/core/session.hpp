@@ -32,6 +32,7 @@
 #include <span>
 #include <vector>
 
+#include "core/api.hpp"
 #include "core/calibration.hpp"
 #include "core/ranging.hpp"
 #include "core/sweep_source.hpp"
@@ -125,7 +126,7 @@ class RangingSession {
       std::shared_ptr<const SweepSource> source,
       std::shared_ptr<const RangingPipeline> pipeline,
       std::shared_ptr<const CalibrationTable> calibration, mathx::Rng& rng,
-      std::size_t queue_depth);
+      std::size_t queue_depth, const chronos::RetryPolicy& retry);
 
   struct State;
   std::shared_ptr<State> state_;
@@ -134,11 +135,13 @@ class RangingSession {
 /// Opens a session: forks `rng` once (kBatchStreamTag) and shares ownership
 /// of everything a job touches, so the session — like a BatchHandle — stays
 /// collectable after the issuing engine dies. `queue_depth >= 1`.
+/// `retry` bounds per-ticket re-ranging of retryable failures
+/// (core/retry.hpp); the default {1} keeps the pre-retry behaviour.
 RangingSession open_ranging_session(
     std::shared_ptr<WorkerPool> pool, std::shared_ptr<const SweepSource> source,
     std::shared_ptr<const RangingPipeline> pipeline,
     std::shared_ptr<const CalibrationTable> calibration, mathx::Rng& rng,
-    std::size_t queue_depth);
+    std::size_t queue_depth, const chronos::RetryPolicy& retry = {});
 
 /// Group size the ingestion adapters use when draining `n_requests`
 /// through multi-RHS solves on `threads` workers. Large groups amortise

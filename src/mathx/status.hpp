@@ -18,6 +18,7 @@
 
 #include <optional>
 #include <string>
+#include <string_view>
 #include <utility>
 
 #include "mathx/contracts.hpp"
@@ -52,6 +53,15 @@ enum class StatusCode : int {
   /// A defect in this library surfaced while serving the request; the
   /// message carries the captured diagnostic.
   kInternal,
+  /// A sweep failed the integrity/sanity gate of the ranging pipeline
+  /// (band-plan lies, stale/replayed timestamps, collapsed SNR, excess
+  /// solver residual, ToA inconsistency): structurally parseable but not
+  /// trustworthy — the signature of corruption or spoofing, not of a
+  /// malformed request.
+  kIntegrityViolation,
+  /// Every attempt allowed by the RetryPolicy failed with a retryable
+  /// status; the message carries the last attempt's diagnostic.
+  kRetryExhausted,
 };
 
 /// Stable identifier for a code ("kQueueFull", ...), for logs and tests.
@@ -67,8 +77,42 @@ constexpr const char* to_string(StatusCode code) {
     case StatusCode::kQueueFull: return "kQueueFull";
     case StatusCode::kUnavailable: return "kUnavailable";
     case StatusCode::kInternal: return "kInternal";
+    case StatusCode::kIntegrityViolation: return "kIntegrityViolation";
+    case StatusCode::kRetryExhausted: return "kRetryExhausted";
   }
   return "<invalid StatusCode>";
+}
+
+/// Every StatusCode, in declaration order — kAllStatusCodes[i] has numeric
+/// value i. The exhaustive code_name round-trip test pins this array (and
+/// to_string) against the enum: adding an enumerator without extending both
+/// fails the suite.
+inline constexpr StatusCode kAllStatusCodes[] = {
+    StatusCode::kOk,
+    StatusCode::kInvalidArgument,
+    StatusCode::kUnknownNode,
+    StatusCode::kAntennaOutOfRange,
+    StatusCode::kUnknownLink,
+    StatusCode::kBandMismatch,
+    StatusCode::kMalformedSweep,
+    StatusCode::kQueueFull,
+    StatusCode::kUnavailable,
+    StatusCode::kInternal,
+    StatusCode::kIntegrityViolation,
+    StatusCode::kRetryExhausted,
+};
+
+/// Symmetric naming for the round-trip pair below (same string as
+/// to_string).
+constexpr const char* code_name(StatusCode code) { return to_string(code); }
+
+/// Inverse of code_name: parses "kQueueFull" back to its code. nullopt for
+/// strings that name no code — the form log/wire consumers want.
+constexpr std::optional<StatusCode> code_from_name(std::string_view name) {
+  for (const StatusCode code : kAllStatusCodes) {
+    if (name == code_name(code)) return code;
+  }
+  return std::nullopt;
 }
 
 /// A typed, recoverable outcome: kOk (default construction) or an error

@@ -12,6 +12,7 @@
 #include <condition_variable>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <sstream>
 #include <thread>
 #include <utility>
@@ -103,6 +104,33 @@ class GatedSource final : public SweepSource {
 // ---------------------------------------------------------------------------
 // Error model: every request-shaped failure is a Status, never an exception
 // ---------------------------------------------------------------------------
+
+TEST(ApiErrorModel, StatusCodeNamesRoundTripExhaustively) {
+  // kAllStatusCodes is the exhaustiveness pin: [i] must hold value i, every
+  // name must be unique, parse back to its code, and out-of-range values
+  // must fall through to the sentinel. Adding an enumerator without
+  // extending to_string + kAllStatusCodes fails here.
+  const std::size_t n = std::size(chronos::kAllStatusCodes);
+  std::set<std::string> names;
+  for (std::size_t i = 0; i < n; ++i) {
+    const chronos::StatusCode code = chronos::kAllStatusCodes[i];
+    EXPECT_EQ(static_cast<std::size_t>(code), i);
+    const std::string name = chronos::code_name(code);
+    EXPECT_EQ(name.substr(0, 1), "k");
+    EXPECT_TRUE(names.insert(name).second) << name << " is duplicated";
+    const auto parsed = chronos::code_from_name(name);
+    ASSERT_TRUE(parsed.has_value()) << name;
+    EXPECT_EQ(*parsed, code);
+  }
+  // The two new adversarial-tier codes are part of the stable vocabulary.
+  EXPECT_TRUE(names.contains("kIntegrityViolation"));
+  EXPECT_TRUE(names.contains("kRetryExhausted"));
+  // Out-of-range and unknown-name handling.
+  EXPECT_STREQ(chronos::to_string(static_cast<chronos::StatusCode>(n)),
+               "<invalid StatusCode>");
+  EXPECT_FALSE(chronos::code_from_name("kNotACode").has_value());
+  EXPECT_FALSE(chronos::code_from_name("").has_value());
+}
 
 TEST(ApiErrorModel, SimBackendStatusTable) {
   const auto ec = fast_config();

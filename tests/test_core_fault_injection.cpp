@@ -1,0 +1,299 @@
+// The adversarial tier: deterministic fault injection, the hostile-sweep
+// detection gate, and bounded retries — and the proof that none of it
+// weakens the batched runtime's determinism contract. The load-bearing
+// properties:
+//   * a zero FaultProfile is bit-identical to the undecorated backend
+//     (split never advances its parent stream);
+//   * planned_fault() reconstructs per-ticket ground truth, and every
+//     injected fault class maps to its documented rejection status;
+//   * N worker threads under a hostile profile WITH retries enabled are
+//     bit-identical to the sequential loop — including attempt counts and
+//     the statuses of rejected tickets;
+//   * retries recover transient outages and wrap exhaustion as
+//     kRetryExhausted without disturbing neighbouring requests.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/fault_injection.hpp"
+#include "sim/environment.hpp"
+#include "sim/radio.hpp"
+
+namespace chronos::core {
+namespace {
+
+/// Reduced sweep plan (every 5th US band, one exchange) — the same
+/// fast fixture the batch determinism suite uses.
+sim::LinkSimConfig fast_link() {
+  sim::LinkSimConfig c;
+  const auto& plan = phy::us_band_plan();
+  for (std::size_t i = 0; i < plan.size(); i += 5) {
+    c.bands.push_back(plan[i]);
+  }
+  c.exchanges_per_band = 1;
+  return c;
+}
+
+std::vector<ResolvedRequest> make_requests(std::size_t n) {
+  std::vector<ResolvedRequest> reqs;
+  const auto rx = sim::make_laptop({12.0, 9.0}, 0.3, 77);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = 2.0 + 0.7 * static_cast<double>(i % 11);
+    const double y = 2.0 + 0.5 * static_cast<double>(i % 7);
+    reqs.push_back({sim::make_mobile({x, y}, 100 + i), 0, rx, i % 3});
+  }
+  return reqs;
+}
+
+void expect_bitwise_equal(const RangingResult& a, const RangingResult& b) {
+  EXPECT_EQ(a.status.code(), b.status.code());
+  EXPECT_EQ(a.attempts, b.attempts);
+  EXPECT_EQ(a.tof_s, b.tof_s);
+  EXPECT_EQ(a.distance_m, b.distance_m);
+  EXPECT_EQ(a.toa_s, b.toa_s);
+  EXPECT_EQ(a.detection_delay_s, b.detection_delay_s);
+  EXPECT_EQ(a.peak_found, b.peak_found);
+  EXPECT_EQ(a.solver_iterations, b.solver_iterations);
+  ASSERT_EQ(a.profile.magnitudes.size(), b.profile.magnitudes.size());
+  for (std::size_t i = 0; i < a.profile.magnitudes.size(); ++i) {
+    EXPECT_EQ(a.profile.magnitudes[i], b.profile.magnitudes[i]);
+  }
+  ASSERT_EQ(a.candidates.size(), b.candidates.size());
+  for (std::size_t i = 0; i < a.candidates.size(); ++i) {
+    EXPECT_EQ(a.candidates[i].delay_s, b.candidates[i].delay_s);
+    EXPECT_EQ(a.candidates[i].accepted, b.candidates[i].accepted);
+  }
+}
+
+/// Engine configuration with the fast plan and (optionally) the hostile
+/// integrity gate armed.
+EngineConfig engine_config(bool hostile_gate = true) {
+  EngineConfig ec;
+  ec.link = fast_link();
+  if (hostile_gate) ec.ranging.integrity = IntegrityConfig::hostile();
+  return ec;
+}
+
+/// One-time fixture calibration on a fixed seed (the ToA-consistency check
+/// needs a calibrated detection-delay bias).
+void calibrate(ChronosEngine& eng) {
+  mathx::Rng cal_rng(5);
+  eng.calibrate(sim::make_laptop({0.0, 0.0}, 0.3, 11),
+                sim::make_laptop({1.5, 0.0}, 0.3, 22), cal_rng);
+}
+
+TEST(FaultInjection, ZeroProfileIsBitIdenticalToUndecoratedBackend) {
+  // The clean path hands the caller's rng to the inner backend untouched,
+  // so decorating with an all-zero profile changes NOTHING — the property
+  // that lets the injector wrap production sources unconditionally.
+  const auto inner =
+      std::make_shared<SimSweepSource>(sim::office_20x20(), fast_link());
+  ChronosEngine plain(inner, engine_config());
+  calibrate(plain);
+  ChronosEngine wrapped(
+      std::make_shared<FaultInjectingSweepSource>(inner, FaultProfile{}),
+      engine_config());
+  calibrate(wrapped);
+
+  const auto requests = make_requests(6);
+  mathx::Rng rng_a(9);
+  const auto a = plain.measure_batch(requests, rng_a, BatchOptions{1});
+  mathx::Rng rng_b(9);
+  const auto b = wrapped.measure_batch(requests, rng_b, BatchOptions{4});
+
+  ASSERT_EQ(a.results.size(), b.results.size());
+  for (std::size_t i = 0; i < a.results.size(); ++i) {
+    // Hostile gate + clean sweeps: nothing may be rejected either.
+    EXPECT_TRUE(a.results[i].status.ok()) << a.results[i].status.message();
+    expect_bitwise_equal(a.results[i], b.results[i]);
+  }
+  EXPECT_EQ(rng_a.uniform(0.0, 1.0), rng_b.uniform(0.0, 1.0));
+}
+
+TEST(FaultInjection, PlannedFaultGroundTruthMatchesRejectionStatuses) {
+  // planned_fault(base.split(i)) reconstructs, without consuming anything,
+  // exactly which fault ticket i will suffer — and each fault class lands
+  // in its documented status. This is the mapping the adversarial bench's
+  // detection/false-reject accounting is built on.
+  const auto inner =
+      std::make_shared<SimSweepSource>(sim::office_20x20(), fast_link());
+  const auto injector = std::make_shared<FaultInjectingSweepSource>(
+      inner, FaultProfile::hostile(0.13));
+  ChronosEngine eng(injector, engine_config());
+  calibrate(eng);
+
+  const auto requests = make_requests(48);
+  mathx::Rng rng(777);
+  mathx::Rng probe(777);  // same seed -> same fork -> same split streams
+  const mathx::Rng base = probe.fork(kBatchStreamTag);
+  const auto batch = eng.measure_batch(requests, rng, BatchOptions{4});
+
+  std::size_t clean = 0;
+  std::size_t false_rejects = 0;
+  std::size_t seen[7] = {};
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const FaultKind kind = injector->planned_fault(base.split(i));
+    seen[static_cast<std::size_t>(kind)] += 1;
+    const auto code = batch.results[i].status.code();
+    switch (kind) {
+      case FaultKind::kNone:
+        clean += 1;
+        false_rejects += batch.results[i].status.ok() ? 0 : 1;
+        break;
+      case FaultKind::kOutage:
+        EXPECT_EQ(code, chronos::StatusCode::kUnavailable) << i;
+        break;
+      case FaultKind::kTruncated:
+        EXPECT_EQ(code, chronos::StatusCode::kMalformedSweep) << i;
+        break;
+      case FaultKind::kReplayed:
+      case FaultKind::kSpoofedDelay:
+      case FaultKind::kBandLiar:
+      case FaultKind::kSnrCollapse:
+        EXPECT_EQ(code, chronos::StatusCode::kIntegrityViolation) << i;
+        break;
+    }
+  }
+  // The hostile gate's false-reject budget on clean traffic is 5%.
+  EXPECT_LE(static_cast<double>(false_rejects),
+            0.05 * static_cast<double>(clean));
+  // The fixed seed exercises every fault class at least once.
+  for (std::size_t k = 1; k < 7; ++k) {
+    EXPECT_GE(seen[k], 1u) << "fault kind " << k << " never drawn";
+  }
+}
+
+TEST(FaultInjection, ThreadCountNeverChangesFaultedRetriedResults) {
+  // The headline determinism-under-faults property: hostile profile,
+  // hostile gate, retries enabled — N threads bit-identical to the
+  // sequential loop, including which tickets were faulted, how many
+  // attempts each consumed, and every rejected ticket's status.
+  const auto inner =
+      std::make_shared<SimSweepSource>(sim::office_20x20(), fast_link());
+  ChronosEngine eng(std::make_shared<FaultInjectingSweepSource>(
+                        inner, FaultProfile::hostile(0.1)),
+                    engine_config());
+  calibrate(eng);
+  const auto requests = make_requests(12);
+
+  BatchOptions sequential_opts{1};
+  sequential_opts.retry = {3, 0.0};
+  mathx::Rng rng_seq(42);
+  const auto sequential =
+      eng.measure_batch(requests, rng_seq, sequential_opts);
+
+  std::size_t retried = 0;
+  for (const auto& r : sequential.results) retried += r.attempts > 1 ? 1 : 0;
+  EXPECT_GE(retried, 1u) << "fixture never retried; weaken nothing";
+
+  for (const int threads : {2, 4, 8}) {
+    BatchOptions opts{threads};
+    opts.retry = {3, 0.0};
+    mathx::Rng rng_par(42);
+    const auto parallel = eng.measure_batch(requests, rng_par, opts);
+    ASSERT_EQ(parallel.results.size(), sequential.results.size());
+    for (std::size_t i = 0; i < parallel.results.size(); ++i) {
+      expect_bitwise_equal(parallel.results[i], sequential.results[i]);
+    }
+    EXPECT_EQ(rng_seq.uniform(0.0, 1.0), rng_par.uniform(0.0, 1.0));
+    rng_seq = mathx::Rng(42);
+    (void)eng.measure_batch(requests, rng_seq, sequential_opts);
+  }
+
+  // The async path honours the same contract at the same seed.
+  BatchOptions async_opts{4};
+  async_opts.retry = {3, 0.0};
+  mathx::Rng rng_async(42);
+  auto handle = eng.submit_batch(requests, rng_async, async_opts);
+  const auto async = handle.get();
+  ASSERT_EQ(async.results.size(), sequential.results.size());
+  for (std::size_t i = 0; i < async.results.size(); ++i) {
+    expect_bitwise_equal(async.results[i], sequential.results[i]);
+  }
+}
+
+TEST(FaultInjection, RetriesRecoverTransientOutages) {
+  FaultProfile outages;
+  outages.p_outage = 0.5;
+  const auto inner =
+      std::make_shared<SimSweepSource>(sim::office_20x20(), fast_link());
+  ChronosEngine eng(std::make_shared<FaultInjectingSweepSource>(inner, outages),
+                    engine_config(/*hostile_gate=*/false));
+  calibrate(eng);
+  const auto requests = make_requests(20);
+
+  // Without retries the outages surface raw.
+  mathx::Rng rng_raw(3);
+  const auto raw = eng.measure_batch(requests, rng_raw, BatchOptions{1});
+  std::size_t raw_outages = 0;
+  for (const auto& r : raw.results) {
+    raw_outages +=
+        r.status.code() == chronos::StatusCode::kUnavailable ? 1 : 0;
+    EXPECT_EQ(r.attempts, 1);
+  }
+  EXPECT_GE(raw_outages, 1u);
+
+  // With a 4-attempt budget every ticket either recovers (some needing
+  // more than one attempt) or reports honest exhaustion.
+  BatchOptions opts{4};
+  opts.retry = {4, 0.0};
+  mathx::Rng rng(3);
+  const auto batch = eng.measure_batch(requests, rng, opts);
+  std::size_t recovered = 0;
+  for (const auto& r : batch.results) {
+    EXPECT_TRUE(r.status.ok() ||
+                r.status.code() == chronos::StatusCode::kRetryExhausted)
+        << r.status.message();
+    recovered += (r.status.ok() && r.attempts > 1) ? 1 : 0;
+  }
+  EXPECT_GE(recovered, 1u);
+}
+
+TEST(FaultInjection, ExhaustionWrapsAsRetryExhausted) {
+  FaultProfile always_down;
+  always_down.p_outage = 1.0;
+  const auto inner =
+      std::make_shared<SimSweepSource>(sim::office_20x20(), fast_link());
+  ChronosEngine eng(
+      std::make_shared<FaultInjectingSweepSource>(inner, always_down),
+      engine_config(/*hostile_gate=*/false));
+  calibrate(eng);
+  const auto requests = make_requests(3);
+
+  BatchOptions opts{1};
+  opts.retry = {3, 0.0};
+  mathx::Rng rng(8);
+  const auto exhausted = eng.measure_batch(requests, rng, opts);
+  for (const auto& r : exhausted.results) {
+    EXPECT_EQ(r.status.code(), chronos::StatusCode::kRetryExhausted);
+    EXPECT_EQ(r.attempts, 3);
+  }
+
+  // max_attempts == 1 is the pre-retry contract: the raw status, unwrapped.
+  mathx::Rng rng_one(8);
+  const auto one = eng.measure_batch(requests, rng_one, BatchOptions{1});
+  for (const auto& r : one.results) {
+    EXPECT_EQ(r.status.code(), chronos::StatusCode::kUnavailable);
+    EXPECT_EQ(r.attempts, 1);
+  }
+}
+
+TEST(FaultInjection, RejectsIllFormedProfiles) {
+  const auto inner =
+      std::make_shared<SimSweepSource>(sim::office_20x20(), fast_link());
+  FaultProfile over;
+  over.p_outage = 0.7;
+  over.p_truncate = 0.5;  // sum > 1
+  EXPECT_THROW((void)FaultInjectingSweepSource(inner, over),
+               std::invalid_argument);
+  FaultProfile negative;
+  negative.p_spoof = -0.1;
+  EXPECT_THROW((void)FaultInjectingSweepSource(inner, negative),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace chronos::core

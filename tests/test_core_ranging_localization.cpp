@@ -118,12 +118,17 @@ TEST(Ranging, CalibrationRemovesHardwareBias) {
   EXPECT_NEAR(r.distance_m, 6.0, 0.05);
 }
 
-TEST(Ranging, MismatchedSweepThrows) {
+TEST(Ranging, MismatchedSweepRejectedByGate) {
   sim::LinkSimulator link(sim::anechoic(), ideal_link());
   RangingPipeline pipe(link.bands(), {});
   phy::SweepMeasurement wrong;
   wrong.bands.resize(3);
-  EXPECT_THROW((void)pipe.estimate(wrong), std::invalid_argument);
+  // The structural screen (always on) turns what used to be a thrown
+  // invalid_argument into a typed per-request rejection: one truncated
+  // sweep in a batch must not abort its neighbours.
+  const auto result = pipe.estimate(wrong);
+  EXPECT_EQ(result.status.code(), chronos::StatusCode::kMalformedSweep);
+  EXPECT_FALSE(result.peak_found);
 }
 
 // --- localization -----------------------------------------------------
