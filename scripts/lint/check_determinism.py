@@ -19,10 +19,10 @@ src/sim, src/core):
                                     so any loop over one is a scheduling
                                     dependence
 
-Suppression: a line (or its predecessor) carrying
-`lint:allow(nondeterminism)` in a comment is exempt — use it only with a
-reason, for constructs that provably never feed a measured result (e.g.
-wall-clock *diagnostics* such as BatchResult::elapsed_seconds).
+Suppression: statement-scoped `lint:allow(nondeterminism)` in a comment
+(see lintlib/suppress.py) — use it only with a reason, for constructs
+that provably never feed a measured result (e.g. wall-clock
+*diagnostics* such as BatchResult::elapsed_seconds).
 
 Registered as CTest case `lint_determinism` (label `lint`); the negative
 fixture under tests/lint/fixtures/determinism_bad must make it fail.
@@ -37,13 +37,17 @@ import os
 import re
 import sys
 
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from lintlib import files, suppress, tokenizer  # noqa: E402
+from lintlib.driver import FatalLintError, run_checker  # noqa: E402
+
 # Layers bound by the bit-identical determinism contract. phy/geom are
 # pure functions of their inputs by construction (no state at all), and
 # the app layers (baseline/net/proto/drone) run on top of the contract;
 # extend this list as layers are ported to the v2 runtime.
 CHECKED_DIRS = ("src/mathx", "src/sim", "src/core")
-SOURCE_EXTS = (".hpp", ".h", ".cpp", ".cc")
-ALLOW_MARKER = "lint:allow(nondeterminism)"
+RULE = "nondeterminism"
 
 BANNED = [
     (re.compile(r"std::random_device|\brandom_device\b"),
@@ -60,91 +64,47 @@ BANNED = [
      "order; key by a stable id instead)"),
 ]
 
-LINE_COMMENT_RE = re.compile(r"//.*$")
-STRING_RE = re.compile(r'"(?:[^"\\]|\\.)*"')
-
-
-def strip_noncode(line: str, in_block_comment: bool) -> tuple[str, bool]:
-    """Remove strings and comments; track /* */ state across lines."""
-    out = []
-    i = 0
-    line = STRING_RE.sub('""', line)
-    while i < len(line):
-        if in_block_comment:
-            end = line.find("*/", i)
-            if end == -1:
-                return "".join(out), True
-            i = end + 2
-            in_block_comment = False
-            continue
-        start = line.find("/*", i)
-        line_comment = line.find("//", i)
-        if line_comment != -1 and (start == -1 or line_comment < start):
-            out.append(line[i:line_comment])
-            return "".join(out), False
-        if start == -1:
-            out.append(line[i:])
-            break
-        out.append(line[i:start])
-        i = start + 2
-        in_block_comment = True
-    return "".join(out), in_block_comment
-
 
 def check_file(path: str, rel: str) -> list[str]:
+    text = files.read_source(path)
+    raw_lines = text.splitlines()
+    code_lines = tokenizer.strip_comments_and_strings(text)
+    allowed = suppress.allow_lines(raw_lines, code_lines, RULE)
     violations = []
-    in_block = False
-    # A marker suppresses its own line and every following line up to and
-    # including the end of the next statement (first line whose code ends
-    # with ';', '{', or '}'), so one marker covers a multi-line call.
-    allow_open = False
-    with open(path, encoding="utf-8", errors="replace") as fh:
-        for lineno, raw in enumerate(fh, 1):
-            code, in_block = strip_noncode(raw, in_block)
-            stmt_ends = code.rstrip().endswith((";", "{", "}"))
-            if ALLOW_MARKER in raw:
-                allow_open = not stmt_ends
-                continue
-            if allow_open:
-                if stmt_ends:
-                    allow_open = False
-                continue
-            for pattern, why in BANNED:
-                if pattern.search(code):
-                    violations.append(
-                        f"{rel}:{lineno}: {why}\n    {raw.rstrip()}")
+    for lineno, (raw, code) in enumerate(zip(raw_lines, code_lines), 1):
+        if lineno in allowed:
+            continue
+        for pattern, why in BANNED:
+            if pattern.search(code):
+                violations.append(
+                    f"{rel}:{lineno}: {why}\n    {raw.rstrip()}")
     return violations
 
 
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    default_root = os.path.dirname(
-        os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
-    parser.add_argument("--root", default=default_root,
-                        help="repository root (contains src/)")
+    parser.add_argument(
+        "--root",
+        default=os.path.dirname(os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__)))),
+        help="repository root (contains src/)")
     args = parser.parse_args()
 
     any_dir = False
     violations: list[str] = []
     checked = 0
     for sub in CHECKED_DIRS:
-        root = os.path.join(args.root, sub)
-        if not os.path.isdir(root):
+        top = os.path.join(args.root, sub)
+        if not os.path.isdir(top):
             continue
         any_dir = True
-        for dirpath, _dirnames, filenames in os.walk(root):
-            for name in sorted(filenames):
-                if not name.endswith(SOURCE_EXTS):
-                    continue
-                path = os.path.join(dirpath, name)
-                rel = os.path.relpath(path, args.root).replace(os.sep, "/")
-                checked += 1
-                violations.extend(check_file(path, rel))
+        for path in files.walk_sources(args.root, (sub,)):
+            rel = os.path.relpath(path, args.root).replace(os.sep, "/")
+            checked += 1
+            violations.extend(check_file(path, rel))
 
     if not any_dir:
-        print(f"check_determinism: none of {CHECKED_DIRS} under "
-              f"{args.root}", file=sys.stderr)
-        return 2
+        raise FatalLintError(f"none of {CHECKED_DIRS} under {args.root}")
     if violations:
         print(f"check_determinism: {len(violations)} violation(s) in "
               f"{checked} files:", file=sys.stderr)
@@ -156,4 +116,4 @@ def main() -> int:
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    sys.exit(run_checker(main))

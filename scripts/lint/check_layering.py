@@ -18,6 +18,10 @@ src/ and rejects
   2. any file-level include cycle (also within a single layer — #pragma
      once masks the infinite recursion but not the design smell).
 
+Built on lintlib: includes are taken from tokenized lines (a
+commented-out include is not an edge) and file reads are strict UTF-8
+(a bad byte is FATAL, exit 2, not a silently skipped file).
+
 Registered as CTest case `lint_layering` (label `lint`); the negative
 fixture under tests/lint/fixtures/layering_bad must make it fail (CTest
 WILL_FAIL), proving the lint actually bites.
@@ -31,8 +35,12 @@ from __future__ import annotations
 
 import argparse
 import os
-import re
 import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from lintlib import files, includes  # noqa: E402
+from lintlib.driver import FatalLintError, run_checker  # noqa: E402
 
 # Allowed dependencies, layer -> set of layers it may include from
 # (transitively closed, mirroring the PUBLIC link edges in
@@ -49,9 +57,6 @@ LAYER_DEPS = {
     "drone": {"mathx", "phy", "geom", "sim", "core"},
 }
 
-INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
-SOURCE_EXTS = (".hpp", ".h", ".cpp", ".cc")
-
 
 def layer_of(rel_path: str) -> str | None:
     """Layer of a src/-relative path ('core/engine.hpp' -> 'core')."""
@@ -59,87 +64,50 @@ def layer_of(rel_path: str) -> str | None:
     return head if head in LAYER_DEPS else None
 
 
-def parse_includes(path: str) -> list[tuple[int, str]]:
-    """Quoted includes of `path`, as (line number, include target) pairs."""
-    out = []
-    with open(path, encoding="utf-8", errors="replace") as fh:
-        for lineno, line in enumerate(fh, 1):
-            m = INCLUDE_RE.match(line)
-            if m:
-                out.append((lineno, m.group(1)))
-    return out
-
-
-def find_cycles(graph: dict[str, list[str]]) -> list[list[str]]:
-    """File-level include cycles, one representative path per cycle."""
-    WHITE, GRAY, BLACK = 0, 1, 2
-    color = dict.fromkeys(graph, WHITE)
-    stack: list[str] = []
-    cycles: list[list[str]] = []
-
-    def visit(node: str) -> None:
-        color[node] = GRAY
-        stack.append(node)
-        for dep in graph.get(node, []):
-            if color.get(dep, WHITE) == GRAY:
-                cycles.append(stack[stack.index(dep):] + [dep])
-            elif color.get(dep, WHITE) == WHITE:
-                visit(dep)
-        stack.pop()
-        color[node] = BLACK
-
-    for node in sorted(graph):
-        if color[node] == WHITE:
-            visit(node)
-    return cycles
-
-
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    default_root = os.path.dirname(
-        os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
-    parser.add_argument("--root", default=default_root,
-                        help="repository root (contains src/)")
+    parser.add_argument(
+        "--root",
+        default=os.path.dirname(os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__)))),
+        help="repository root (contains src/)")
     args = parser.parse_args()
 
     src_root = os.path.join(args.root, "src")
     if not os.path.isdir(src_root):
-        print(f"check_layering: no src/ under {args.root}", file=sys.stderr)
-        return 2
+        raise FatalLintError(f"no src/ under {args.root}")
 
     violations: list[str] = []
-    include_graph: dict[str, list[str]] = {}
+    file_edges: dict[str, list[str]] = {}
     checked = 0
 
-    for dirpath, _dirnames, filenames in os.walk(src_root):
-        for name in sorted(filenames):
-            if not name.endswith(SOURCE_EXTS):
+    for path in files.walk_sources(args.root, ("src",)):
+        rel = os.path.relpath(path, src_root).replace(os.sep, "/")
+        checked += 1
+        from_layer = layer_of(rel)
+        edges: list[str] = []
+        for lineno, target in includes.quoted_includes(
+                files.read_source(path)):
+            to_layer = layer_of(target)
+            if to_layer is None:
+                continue  # non-layer include (e.g. "chronos.hpp")
+            edges.append(target)
+            # The umbrella header and any future non-layer file may
+            # include anything; layer files obey the DAG.
+            if from_layer is None:
                 continue
-            path = os.path.join(dirpath, name)
-            rel = os.path.relpath(path, src_root).replace(os.sep, "/")
-            checked += 1
-            from_layer = layer_of(rel)
-            edges: list[str] = []
-            for lineno, target in parse_includes(path):
-                to_layer = layer_of(target)
-                if to_layer is None:
-                    continue  # non-layer include (e.g. "chronos.hpp")
-                edges.append(target)
-                # The umbrella header and any future non-layer file may
-                # include anything; layer files obey the DAG.
-                if from_layer is None:
-                    continue
-                if to_layer != from_layer and \
-                        to_layer not in LAYER_DEPS[from_layer]:
-                    allowed = ", ".join(sorted(LAYER_DEPS[from_layer])) \
-                        or "(nothing)"
-                    violations.append(
-                        f"src/{rel}:{lineno}: illegal include "
-                        f'"{target}": layer {from_layer!r} may only '
-                        f"depend on: {allowed}")
-            include_graph[rel] = edges
+            if to_layer != from_layer and \
+                    to_layer not in LAYER_DEPS[from_layer]:
+                allowed = ", ".join(sorted(LAYER_DEPS[from_layer])) \
+                    or "(nothing)"
+                violations.append(
+                    f"src/{rel}:{lineno}: illegal include "
+                    f'"{target}": layer {from_layer!r} may only '
+                    f"depend on: {allowed}")
+        file_edges[rel] = edges
 
-    for cycle in find_cycles(include_graph):
+    graph = includes.build_graph(file_edges)
+    for cycle in includes.find_cycles(graph):
         violations.append("include cycle: " + " -> ".join(cycle))
 
     if violations:
@@ -149,9 +117,9 @@ def main() -> int:
             print(f"  {v}", file=sys.stderr)
         return 1
     print(f"check_layering: OK ({checked} files, "
-          f"{sum(len(v) for v in include_graph.values())} layer edges)")
+          f"{sum(len(v) for v in graph.values())} layer edges)")
     return 0
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    sys.exit(run_checker(main))

@@ -1,0 +1,155 @@
+#!/usr/bin/env python3
+"""Lock-order lint: no cycles in the inter-mutex acquisition graph.
+
+clang -Wthread-safety (the tidy preset) proves every GUARDED_BY access
+holds the right mutex, but it does not prove a global acquisition ORDER —
+two call paths locking {A then B} and {B then A} each analyse clean and
+deadlock together. This checker extracts, tree-wide:
+
+  * `chronos::MutexLock lock(expr);` acquisitions, with scope tracked by
+    brace depth (a lock is held until its enclosing block closes);
+  * `CHRONOS_REQUIRES(m)` / `CHRONOS_ACQUIRE(m)` on a signature, treated
+    as holding m for the entire body that follows;
+
+and adds a directed edge A -> B whenever B is acquired while A is held.
+Any cycle in the union of these edges across the tree is a potential
+ABBA deadlock and fails the lint.
+
+Mutex identity is the last component of the lock expression
+(`state_->shared->mutex` -> `mutex`), which merges same-named mutexes of
+different objects. That over-merge only matters for *nested* same-name
+acquisitions, which read ambiguously to humans too — so those self-edges
+are reported as violations in their own right rather than fed to the
+cycle finder.
+
+Suppression: statement-scoped `lint:allow(lock-order)` on the inner
+acquisition (use with a reason explaining the global order invariant).
+
+Registered as CTest case `lint_lock_order` (label `lint`); negative
+fixture: tests/lint/fixtures/lock_order_bad.
+
+Usage: check_lock_order.py [--root DIR]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from lintlib import files, suppress, tokenizer  # noqa: E402
+from lintlib.driver import run_checker  # noqa: E402
+
+RULE = "lock-order"
+
+MUTEXLOCK_RE = re.compile(
+    r"\b(?:chronos::)?MutexLock\s+\w+\s*[({]\s*&?\s*([A-Za-z0-9_\.\->:]+?)\s*[)}]")
+HELD_SIG_RE = re.compile(
+    r"\bCHRONOS_(?:REQUIRES|ACQUIRE)\s*\(\s*&?\s*([A-Za-z0-9_\.\->:]+?)\s*\)")
+
+
+def normalize(expr: str) -> str:
+    """Mutex node name: last member-path component of the expression."""
+    return re.split(r"\.|->|::", expr.strip())[-1]
+
+
+def file_edges(path: str, rel: str
+               ) -> tuple[list[tuple[str, str, str]], list[str]]:
+    """((held, acquired, "file:line") edges, self-nesting violations)."""
+    text = files.read_source(path)
+    raw_lines = text.splitlines()
+    code_lines = tokenizer.strip_comments_and_strings(text)
+    allowed = suppress.allow_lines(raw_lines, code_lines, RULE)
+
+    edges: list[tuple[str, str, str]] = []
+    self_nests: list[str] = []
+    depth = 0
+    active: list[tuple[str, int]] = []  # (mutex, depth it lives at)
+    pending_held: list[str] = []        # REQUIRES/ACQUIRE awaiting a '{'
+
+    for lineno, code in enumerate(code_lines, 1):
+        suppressed = lineno in allowed
+        for m in HELD_SIG_RE.finditer(code):
+            pending_held.append(normalize(m.group(1)))
+        for m in MUTEXLOCK_RE.finditer(code):
+            name = normalize(m.group(1))
+            where = f"{rel}:{lineno}"
+            if not suppressed:
+                for held, _d in active:
+                    if held == name:
+                        self_nests.append(
+                            f"{where}: '{name}' acquired while a mutex of "
+                            f"the same name is already held")
+                    else:
+                        edges.append((held, name, where))
+            active.append((name, depth))
+        for ch in code:
+            if ch == "{":
+                depth += 1
+                if pending_held:
+                    active.extend((n, depth) for n in pending_held)
+                    pending_held.clear()
+            elif ch == "}":
+                depth = max(0, depth - 1)
+                active = [(n, d) for n, d in active if d <= depth]
+        # A signature annotation not followed by a body on a later line
+        # (pure declaration `void f() CHRONOS_REQUIRES(m);`) holds
+        # nothing; drop pendings once the statement ends.
+        if pending_held and code.rstrip().endswith(";"):
+            pending_held.clear()
+    return edges, self_nests
+
+
+def find_cycles(edges: list[tuple[str, str, str]]) -> list[list[str]]:
+    graph: dict[str, set[str]] = {}
+    for a, b, _w in edges:
+        graph.setdefault(a, set()).add(b)
+        graph.setdefault(b, set())
+    from lintlib import includes
+
+    return includes.find_cycles(graph)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--root",
+        default=os.path.dirname(os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__)))),
+        help="repository root (contains src/)")
+    args = parser.parse_args()
+
+    all_edges: list[tuple[str, str, str]] = []
+    violations: list[str] = []
+    checked = 0
+    for path in files.walk_sources(args.root, ("src",)):
+        rel = os.path.relpath(path, args.root).replace(os.sep, "/")
+        checked += 1
+        edges, self_nests = file_edges(path, rel)
+        all_edges.extend(edges)
+        violations.extend(self_nests)
+
+    for cycle in find_cycles(all_edges):
+        pair_sites = [w for a, b, w in all_edges
+                      if a in cycle and b in cycle]
+        violations.append(
+            "lock-order cycle (potential ABBA deadlock): "
+            + " -> ".join(cycle)
+            + "  [" + ", ".join(sorted(set(pair_sites))) + "]")
+
+    if violations:
+        print(f"check_lock_order: {len(violations)} violation(s) in "
+              f"{checked} files:", file=sys.stderr)
+        for v in violations:
+            print(f"  {v}", file=sys.stderr)
+        return 1
+    print(f"check_lock_order: OK ({checked} files, "
+          f"{len(all_edges)} nested-acquisition edges)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(run_checker(main))

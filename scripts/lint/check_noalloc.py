@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Hot-loop allocation lint: no heap traffic inside no-alloc regions.
+
+The solver hot paths (ISTA/FISTA iterations and the matched-filter scan
+in core/ndft*.cpp, the ticket fast path in core/session.cpp) are sized
+so every per-step buffer is bound ONCE up front; an allocation sneaking
+into the loop body is both a throughput bug (the heap lock serialises
+worker threads) and a latency bug (malloc under contention). Those
+blocks are bracketed with
+
+    // lint:region(no-alloc)
+    ...
+    // lint:endregion(no-alloc)
+
+and inside a region this checker bans the constructs that heap-allocate:
+
+  * operator new / new[]                * std::function< construction
+  * malloc / calloc / realloc / strdup  * make_unique / make_shared
+  * .push_back( / .emplace_back(        * std::vector< / std::string
+  * .resize( / .reserve(                  declarations
+
+A call that is provably non-allocating (e.g. push_back into a vector
+reserved at bind time) is suppressed per statement with
+`lint:allow(no-alloc): <reason>` — the reason is the point: it records
+the capacity argument a reviewer must check.
+
+An unclosed region or stray endregion is FATAL (exit 2) — a typo must
+not silently stop the region from being checked.
+
+Registered as CTest case `lint_noalloc` (label `lint`); negative
+fixture: tests/lint/fixtures/noalloc_bad.
+
+Usage: check_noalloc.py [--root DIR]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from lintlib import files, suppress, tokenizer  # noqa: E402
+from lintlib.driver import run_checker  # noqa: E402
+
+RULE = "no-alloc"
+
+BANNED = [
+    (re.compile(r"(?<![A-Za-z0-9_])new\b(?!\s*\()"
+                r"|(?<![A-Za-z0-9_])new\s*\("),
+     "operator new"),
+    (re.compile(r"\b(?:std::)?(?:malloc|calloc|realloc|strdup)\s*\("),
+     "C heap allocation"),
+    (re.compile(r"\.(?:push_back|emplace_back)\s*\("),
+     "vector growth (reserve outside the region, or prove capacity with "
+     "lint:allow(no-alloc))"),
+    (re.compile(r"\.(?:resize|reserve)\s*\("),
+     "container resize/reserve"),
+    (re.compile(r"\bstd::function\s*<"),
+     "std::function construction (type-erased target may heap-allocate)"),
+    (re.compile(r"\bstd::make_(?:unique|shared)\s*<"),
+     "make_unique/make_shared"),
+    (re.compile(r"\bstd::(?:vector|string|deque|map|set|unordered_map|"
+                r"unordered_set)\s*<[^;]*>\s+[A-Za-z_]\w*\s*[({;=]"),
+     "owning-container declaration (bind buffers before the region)"),
+]
+
+
+def check_file(path: str, rel: str) -> tuple[list[str], int]:
+    text = files.read_source(path)
+    if "lint:region(" + RULE + ")" not in text and \
+            "lint:endregion(" + RULE + ")" not in text:
+        return [], 0
+    raw_lines = text.splitlines()
+    code_lines = tokenizer.strip_comments_and_strings(text)
+    region = suppress.region_lines(raw_lines, RULE, rel)
+    allowed = suppress.allow_lines(raw_lines, code_lines, RULE)
+
+    violations = []
+    for lineno in sorted(region - allowed):
+        code = code_lines[lineno - 1]
+        for pattern, why in BANNED:
+            if pattern.search(code):
+                violations.append(
+                    f"{rel}:{lineno}: {why} inside a no-alloc region\n"
+                    f"    {raw_lines[lineno - 1].rstrip()}")
+    return violations, len(suppress.regions(raw_lines, RULE, rel))
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--root",
+        default=os.path.dirname(os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__)))),
+        help="repository root (contains src/)")
+    args = parser.parse_args()
+
+    violations: list[str] = []
+    checked = 0
+    regions = 0
+    for path in files.walk_sources(args.root, ("src",)):
+        rel = os.path.relpath(path, args.root).replace(os.sep, "/")
+        checked += 1
+        file_violations, file_regions = check_file(path, rel)
+        violations.extend(file_violations)
+        regions += file_regions
+
+    if violations:
+        print(f"check_noalloc: {len(violations)} violation(s) in "
+              f"{checked} files:", file=sys.stderr)
+        for v in violations:
+            print(f"  {v}", file=sys.stderr)
+        return 1
+    print(f"check_noalloc: OK ({regions} no-alloc regions in "
+          f"{checked} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(run_checker(main))

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Fixture harness: assert a checker *detects* planted violations.
+
+Negative-fixture tests are registered WILL_FAIL in CTest, but CMake's
+WILL_FAIL inverts the whole verdict — including FAIL_REGULAR_EXPRESSION
+(verified on CMake 3.25: a checker that crashes printing "FATAL:" and
+exiting 2 PASSES a WILL_FAIL + FAIL_REGULAR_EXPRESSION test). A crashed
+checker detected nothing, so that inversion would let a broken analyzer
+masquerade as a biting one.
+
+This wrapper restores the intended semantics under plain WILL_FAIL by
+collapsing the checker's three-way exit code (0 clean / 1 violations /
+2 internal failure) to the two-way code WILL_FAIL can faithfully invert:
+
+    checker exit 1 (violations reported)  -> wrapper exit 1 -> test PASSES
+    checker exit 0 (fixture did not bite) -> wrapper exit 0 -> test FAILS
+    checker exit 2 or "FATAL:" (crashed)  -> wrapper exit 0 -> test FAILS
+
+Usage: expect_violations.py <checker.py> [checker args...]
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print("FATAL: usage: expect_violations.py <checker.py> [args...]",
+              file=sys.stderr)
+        return 0  # under WILL_FAIL, 0 = test failure: misuse must be loud
+    proc = subprocess.run([sys.executable] + sys.argv[1:],
+                          capture_output=True, text=True)
+    sys.stdout.write(proc.stdout)
+    sys.stderr.write(proc.stderr)
+    crashed = proc.returncode != 1 or "FATAL:" in proc.stderr
+    if proc.returncode == 0:
+        print("expect_violations: checker reported no violations — "
+              "the fixture no longer bites", file=sys.stderr)
+    elif crashed:
+        print(f"expect_violations: checker did not run to completion "
+              f"(exit {proc.returncode}) — a crash is not a detection",
+              file=sys.stderr)
+    return 1 if not crashed and proc.returncode == 1 else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,53 @@
+"""Checker entry-point plumbing and the strict error-handling contract.
+
+Every checker's ``__main__`` funnels through :func:`run_checker`, which
+maps outcomes onto the project-wide exit-code contract:
+
+  * 0 — clean tree, nothing to report;
+  * 1 — the checker ran to completion and found violations;
+  * 2 — the checker itself failed (unreadable file, invalid UTF-8,
+        malformed compile database, an internal bug).
+
+Failures print exactly one ``FATAL: ...`` line to stderr — never a bare
+traceback.  This matters because the negative-fixture tests are
+registered WILL_FAIL: a checker that crashed with a traceback would exit
+non-zero and *pass* such a test while checking nothing.  The dedicated
+exit code 2 plus the ``FATAL:`` marker let expect_violations.py (the
+fixture harness) disqualify a crash from counting as a detection.  Set
+``CHRONOS_LINT_DEBUG=1`` to get the traceback as well (still exit 2).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import traceback
+from typing import Callable
+
+
+class FatalLintError(Exception):
+    """An internal checker failure; message becomes the FATAL: line."""
+
+
+def run_checker(main: Callable[[], int]) -> int:
+    """Run `main` under the exit-code contract; returns the exit code."""
+    try:
+        return main()
+    except FatalLintError as err:
+        print(f"FATAL: {err}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        print("FATAL: interrupted", file=sys.stderr)
+        return 130
+    except BaseException as err:  # noqa: BLE001 — the whole point
+        if os.environ.get("CHRONOS_LINT_DEBUG") == "1":
+            traceback.print_exc()
+        print(f"FATAL: internal checker error: "
+              f"{type(err).__name__}: {err}", file=sys.stderr)
+        return 2
+
+
+def repo_root_from(script_path: str) -> str:
+    """Repository root assuming `script_path` is scripts/lint/<name>.py."""
+    return os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(script_path))))

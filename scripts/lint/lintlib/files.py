@@ -1,0 +1,138 @@
+"""File-set discovery: compile_commands.json first, tree walk fallback.
+
+Checkers want "every first-party C++ file". The most faithful answer
+comes from a configured build tree's compile_commands.json (exactly what
+the compiler sees, including generated TUs) — but headers never appear
+there, and gcc-only machines may not have configured the tidy preset at
+all. So discovery is layered:
+
+  * ``compile_commands_files(build_dir, repo_root)`` — first-party TUs
+    from the database (the logic run_clang_tidy.sh used to inline);
+  * ``walk_sources(root, subdirs)`` — deterministic (sorted) walk of the
+    source tree for the given extensions, the always-available fallback
+    that also sees headers;
+  * ``discover(repo_root, subdirs)`` — union of both when a database
+    exists, walk-only otherwise. Checkers that analyse headers use this.
+
+Run as a module (``python3 -m lintlib.files --compile-db DB --repo R``)
+it prints the first-party TU list — run_clang_tidy.sh consumes that and
+inherits the strict error handling (bad JSON or unreadable database is a
+FATAL exit 2, not an empty "all clean" file list).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from lintlib.driver import FatalLintError
+
+SOURCE_EXTS = (".hpp", ".h", ".cpp", ".cc")
+FIRST_PARTY_DIRS = ("src", "tests", "bench", "examples")
+
+
+def compile_commands_files(build_dir: str, repo_root: str,
+                           subdirs: tuple[str, ...] = FIRST_PARTY_DIRS
+                           ) -> list[str]:
+    """First-party TU paths from build_dir/compile_commands.json."""
+    db_path = os.path.join(build_dir, "compile_commands.json")
+    try:
+        with open(db_path, encoding="utf-8") as fh:
+            entries = json.load(fh)
+    except OSError as err:
+        raise FatalLintError(f"cannot read {db_path}: {err}") from err
+    except (json.JSONDecodeError, UnicodeDecodeError) as err:
+        raise FatalLintError(f"malformed {db_path}: {err}") from err
+
+    roots = tuple(os.path.join(os.path.abspath(repo_root), d) + os.sep
+                  for d in subdirs)
+    seen: list[str] = []
+    for entry in entries:
+        try:
+            path = os.path.normpath(
+                os.path.join(entry.get("directory", ""), entry["file"]))
+        except (TypeError, KeyError) as err:
+            raise FatalLintError(
+                f"malformed entry in {db_path}: {err}") from err
+        if path.startswith(roots) and path not in seen:
+            seen.append(path)
+    return seen
+
+
+def walk_sources(root: str, subdirs: tuple[str, ...] = ("src",),
+                 exts: tuple[str, ...] = SOURCE_EXTS) -> list[str]:
+    """Sorted source files under root/<subdir> for each subdir.
+
+    Prunes tests/lint/fixtures: fixture trees are planted-violation
+    *inputs* to the checkers (including deliberately invalid UTF-8), not
+    part of the tree under lint.
+    """
+    out: list[str] = []
+    for sub in subdirs:
+        top = os.path.join(root, sub)
+        if not os.path.isdir(top):
+            continue
+        for dirpath, dirnames, filenames in os.walk(top):
+            rel_dir = os.path.relpath(dirpath, root).replace(os.sep, "/")
+            if rel_dir == "tests/lint" and "fixtures" in dirnames:
+                dirnames.remove("fixtures")
+            dirnames.sort()
+            for name in sorted(filenames):
+                if name.endswith(exts):
+                    out.append(os.path.join(dirpath, name))
+    return out
+
+
+def discover(repo_root: str,
+             subdirs: tuple[str, ...] = FIRST_PARTY_DIRS,
+             exts: tuple[str, ...] = SOURCE_EXTS,
+             build_dir: str | None = None) -> list[str]:
+    """Every first-party source file: tree walk, plus any TUs the build
+    database knows that the walk missed (e.g. generated sources)."""
+    files = walk_sources(repo_root, subdirs, exts)
+    if build_dir is None:
+        for candidate in ("build-tidy", "build"):
+            cand = os.path.join(repo_root, candidate)
+            if os.path.isfile(os.path.join(cand, "compile_commands.json")):
+                build_dir = cand
+                break
+    if build_dir is not None and \
+            os.path.isfile(os.path.join(build_dir, "compile_commands.json")):
+        known = set(files)
+        for path in compile_commands_files(build_dir, repo_root, subdirs):
+            if path not in known and path.endswith(exts):
+                files.append(path)
+    return files
+
+
+def read_source(path: str) -> str:
+    """The file's text; a non-UTF-8 or unreadable source is FATAL (exit 2)
+    rather than silently skipped or decoded with replacement characters —
+    mojibake can hide the exact byte range a banned construct sits in."""
+    try:
+        with open(path, encoding="utf-8", errors="strict") as fh:
+            return fh.read()
+    except UnicodeDecodeError as err:
+        raise FatalLintError(f"{path}: not valid UTF-8: {err}") from err
+    except OSError as err:
+        raise FatalLintError(f"{path}: unreadable: {err}") from err
+
+
+def _module_main() -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="print first-party TUs from a compile database")
+    parser.add_argument("--compile-db", required=True,
+                        help="build dir containing compile_commands.json")
+    parser.add_argument("--repo", required=True, help="repository root")
+    args = parser.parse_args()
+    for path in compile_commands_files(args.compile_db, args.repo):
+        print(path)
+    return 0
+
+
+if __name__ == "__main__":
+    from lintlib.driver import run_checker
+
+    raise SystemExit(run_checker(_module_main))

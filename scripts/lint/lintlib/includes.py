@@ -1,0 +1,81 @@
+"""Quoted-include extraction and the file-level include graph.
+
+Includes are pulled from *tokenized* lines (tokenizer.strip_line output),
+so a commented-out ``// #include "net/socket.hpp"`` never creates an
+edge.  The graph is the substrate for two checkers: layering (which
+module may include which) and include-cycle detection.
+"""
+
+from __future__ import annotations
+
+import re
+
+from lintlib import tokenizer
+
+# #include "..." — angle-bracket includes are system/third-party and out
+# of scope for first-party structure checks.
+QUOTED_INCLUDE_RE = re.compile(r'^\s*#\s*include\s*"([^"]+)"')
+
+
+def quoted_includes(text: str) -> list[tuple[int, str]]:
+    """(1-based line number, include path) for each quoted include.
+
+    The tokenizer blanks string literals, which would erase the include
+    path itself — so scan raw lines but only keep a hit when the
+    tokenized line still starts a ``#include`` directive (i.e. the raw
+    match was not inside a comment or a string literal).
+    """
+    raw_lines = text.splitlines()
+    code_lines = tokenizer.strip_comments_and_strings(text)
+    out: list[tuple[int, str]] = []
+    for idx, (raw, code) in enumerate(zip(raw_lines, code_lines), start=1):
+        m = QUOTED_INCLUDE_RE.match(raw)
+        if m and re.match(r'^\s*#\s*include\s*""', code):
+            out.append((idx, m.group(1)))
+    return out
+
+
+def build_graph(file_includes: dict[str, list[str]]) -> dict[str, set[str]]:
+    """Adjacency sets keyed by file, edges restricted to known files."""
+    known = set(file_includes)
+    return {f: {inc for inc in incs if inc in known}
+            for f, incs in file_includes.items()}
+
+
+def find_cycles(graph: dict[str, set[str]]) -> list[list[str]]:
+    """Every elementary cycle reachable in `graph` (iterative DFS).
+
+    Returns each cycle as a node path ``[a, b, ..., a]``.  Deterministic:
+    nodes and edges are visited in sorted order.
+    """
+    cycles: list[list[str]] = []
+    visited: set[str] = set()
+    for start in sorted(graph):
+        if start in visited:
+            continue
+        # Iterative colored DFS from `start`.
+        on_stack: list[str] = []
+        on_stack_set: set[str] = set()
+        iters = [(start, iter(sorted(graph.get(start, ()))))]
+        on_stack.append(start)
+        on_stack_set.add(start)
+        visited.add(start)
+        while iters:
+            node, it = iters[-1]
+            advanced = False
+            for nxt in it:
+                if nxt in on_stack_set:
+                    cycles.append(on_stack[on_stack.index(nxt):] + [nxt])
+                    continue
+                if nxt in visited:
+                    continue
+                visited.add(nxt)
+                on_stack.append(nxt)
+                on_stack_set.add(nxt)
+                iters.append((nxt, iter(sorted(graph.get(nxt, ())))))
+                advanced = True
+                break
+            if not advanced:
+                iters.pop()
+                on_stack_set.discard(on_stack.pop())
+    return cycles

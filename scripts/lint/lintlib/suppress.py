@@ -1,0 +1,88 @@
+"""Suppression markers shared by all checkers.
+
+Two scopes, both carrying the rule name so a marker for one checker can
+never silence another:
+
+  * statement scope — ``// lint:allow(rule): reason`` suppresses the
+    rule on its own line and on following lines until the statement
+    ends (the first line whose code content ends with ``;``, ``{`` or
+    ``}``).  This matches multi-line call expressions without opening
+    an unbounded hole.
+
+  * region scope — ``// lint:region(rule)`` ... ``// lint:endregion(rule)``
+    marks every line in between.  Used two ways: by no-alloc as the set
+    of lines where the rule *applies*, and by other checkers as a
+    suppression block.  An unclosed region or a stray endregion is a
+    FATAL (exit 2): a typo must not silently change what is checked.
+
+Markers are recognised in the raw text (they live in comments, which the
+tokenizer strips), but statement-end detection uses the tokenized code so
+a ``;`` inside a string cannot end the scope early.
+"""
+
+from __future__ import annotations
+
+import re
+
+from lintlib.driver import FatalLintError
+
+ALLOW_RE = re.compile(r"lint:allow\(([A-Za-z0-9_-]+)\)")
+# Region markers must start a comment (`// lint:region(...)`, possibly
+# with explanatory text after) so a doc comment merely *mentioning* a
+# marker mid-sentence cannot open or close a region.
+REGION_RE = re.compile(r"//\s*lint:(region|endregion)\(([A-Za-z0-9_-]+)\)")
+
+
+def allow_lines(raw_lines: list[str], code_lines: list[str],
+                rule: str) -> set[int]:
+    """1-based line numbers suppressed for `rule` by lint:allow markers."""
+    allowed: set[int] = set()
+    active = False
+    for idx, (raw, code) in enumerate(zip(raw_lines, code_lines), start=1):
+        if any(m.group(1) == rule for m in ALLOW_RE.finditer(raw)):
+            active = True
+        if active:
+            allowed.add(idx)
+            if code.rstrip().endswith((";", "{", "}")):
+                active = False
+    return allowed
+
+
+def regions(raw_lines: list[str], rule: str, path: str = "<input>"
+            ) -> list[tuple[int, int]]:
+    """(begin, end) 1-based inclusive line ranges of lint:region(rule)
+    blocks.  The marker lines themselves are inside the range.  Raises
+    FatalLintError on nesting, a stray endregion, or an unclosed region.
+    """
+    spans: list[tuple[int, int]] = []
+    open_at: int | None = None
+    for idx, raw in enumerate(raw_lines, start=1):
+        for m in REGION_RE.finditer(raw):
+            if m.group(2) != rule:
+                continue
+            if m.group(1) == "region":
+                if open_at is not None:
+                    raise FatalLintError(
+                        f"{path}:{idx}: nested lint:region({rule}) "
+                        f"(previous opened at line {open_at})")
+                open_at = idx
+            else:
+                if open_at is None:
+                    raise FatalLintError(
+                        f"{path}:{idx}: lint:endregion({rule}) "
+                        f"without a matching lint:region({rule})")
+                spans.append((open_at, idx))
+                open_at = None
+    if open_at is not None:
+        raise FatalLintError(
+            f"{path}:{open_at}: unclosed lint:region({rule})")
+    return spans
+
+
+def region_lines(raw_lines: list[str], rule: str, path: str = "<input>"
+                 ) -> set[int]:
+    """1-based line numbers covered by lint:region(rule) blocks."""
+    covered: set[int] = set()
+    for begin, end in regions(raw_lines, rule, path):
+        covered.update(range(begin, end + 1))
+    return covered

@@ -1,0 +1,114 @@
+"""C++-aware comment/string stripping.
+
+The single most common false-positive source for regex lints is matching
+inside comments or string literals ("// TODO: stop using rand()" must not
+trip the determinism ban). ``strip_comments_and_strings`` removes both
+while preserving the line structure, so checkers keep reporting real line
+numbers. Handled constructs:
+
+  * ``//`` line comments, including line-spliced ones (a backslash at the
+    end of a ``//`` line continues the comment onto the next line — a
+    classic lint evasion / accident);
+  * ``/* ... */`` block comments spanning any number of lines;
+  * ``"..."`` string and ``'...'`` character literals with escapes;
+  * raw string literals ``R"delim( ... )delim"`` spanning lines (and the
+    ``LR/uR/UR/u8R`` prefixed forms);
+  * comment markers inside literals and literal quotes inside comments.
+
+String/char literals are replaced by empty quotes (``""`` / ``''``) so
+syntactic shape survives; comments become spaces.
+"""
+
+from __future__ import annotations
+
+import re
+
+# Raw-string opener at position i: optional encoding prefix, R, quote.
+_RAW_OPEN_RE = re.compile(r'(?:u8|[uUL])?R"([^ ()\\\t\v\f\n"]*)\(')
+
+
+class Tokenizer:
+    """Streaming comment/string stripper; feed lines, get code lines."""
+
+    def __init__(self) -> None:
+        self.in_block_comment = False
+        self.in_line_comment = False  # only via line-spliced //
+        self.raw_delim: str | None = None  # inside R"delim( ... when set
+
+    def strip_line(self, line: str) -> str:
+        """The code content of `line` (comments/strings blanked)."""
+        out: list[str] = []
+        i = 0
+        n = len(line)
+        # Trailing newline is never part of a token we emit.
+        if line.endswith("\n"):
+            n -= 1
+
+        while i < n:
+            if self.in_block_comment:
+                end = line.find("*/", i, n)
+                if end == -1:
+                    i = n
+                else:
+                    i = end + 2
+                    self.in_block_comment = False
+                continue
+            if self.in_line_comment:
+                # Continued // comment: consumes the whole line; continues
+                # again iff this line also ends with a backslash splice.
+                self.in_line_comment = line[:n].endswith("\\")
+                i = n
+                continue
+            if self.raw_delim is not None:
+                close = line.find(")" + self.raw_delim + '"', i, n)
+                if close == -1:
+                    i = n
+                else:
+                    i = close + len(self.raw_delim) + 2
+                    self.raw_delim = None
+                    out.append('""')
+                continue
+
+            ch = line[i]
+            nxt = line[i + 1] if i + 1 < n else ""
+            if ch == "/" and nxt == "/":
+                self.in_line_comment = line[:n].endswith("\\")
+                i = n
+                continue
+            if ch == "/" and nxt == "*":
+                self.in_block_comment = True
+                out.append(" ")
+                i += 2
+                continue
+            m = _RAW_OPEN_RE.match(line, i, n)
+            if m:
+                self.raw_delim = m.group(1)
+                close = line.find(")" + self.raw_delim + '"', m.end(), n)
+                if close == -1:
+                    i = n
+                else:
+                    i = close + len(self.raw_delim) + 2
+                    self.raw_delim = None
+                    out.append('""')
+                continue
+            if ch == '"' or ch == "'":
+                j = i + 1
+                while j < n:
+                    if line[j] == "\\":
+                        j += 2
+                        continue
+                    if line[j] == ch:
+                        break
+                    j += 1
+                out.append('""' if ch == '"' else "''")
+                i = j + 1
+                continue
+            out.append(ch)
+            i += 1
+        return "".join(out)
+
+
+def strip_comments_and_strings(text: str) -> list[str]:
+    """Code-only lines of `text` (same count/order as the input lines)."""
+    tok = Tokenizer()
+    return [tok.strip_line(line) for line in text.splitlines()]

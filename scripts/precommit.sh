@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Pre-commit gate: the full lint suite plus a strict configure, fast
+# enough to run on every commit (target: well under 30 s, no build).
+#
+#   1. every scripts/lint/check_*.py analyzer on the clean tree;
+#   2. the lintlib framework unit tests (tests/lint/test_lintlib.py);
+#   3. the shell-script audit (scripts/lint/check_shell.sh);
+#   4. optional tools when installed: clang-tidy (needs a tidy-preset
+#      tree), cppcheck — both loud-skip when absent;
+#   5. a -Wall -Wextra -Werror configure (the project default,
+#      CHRONOS_WERROR=ON) with -DCHRONOS_REQUIRE_LINT=ON, proving every
+#      lint test registers — a missing interpreter fails the configure
+#      instead of silently skipping the suite. Uses build-precommit/ so
+#      it never dirties a working build tree.
+#
+# Usage: scripts/precommit.sh
+# Exit status: 0 iff every stage passed.
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "${REPO_ROOT}"
+
+FAILED=0
+run_stage() {
+  local name="$1"
+  shift
+  echo "== precommit: ${name}" >&2
+  if ! "$@"; then
+    echo "== precommit: ${name} FAILED" >&2
+    FAILED=1
+  fi
+}
+
+for checker in scripts/lint/check_*.py; do
+  run_stage "$(basename "${checker}")" python3 "${checker}"
+done
+run_stage "lintlib unit tests" python3 tests/lint/test_lintlib.py
+run_stage "check_shell.sh" bash scripts/lint/check_shell.sh
+# The configure runs before the tool wrappers so build-precommit's fresh
+# compile_commands.json is available to clang-tidy even on a checkout
+# with no other build tree.
+run_stage "strict configure (-Werror, CHRONOS_REQUIRE_LINT=ON)" \
+  cmake -B build-precommit -S . -DCHRONOS_REQUIRE_LINT=ON \
+  -DCMAKE_BUILD_TYPE=Release
+run_stage "run_clang_tidy.sh (skips without clang-tidy)" \
+  bash scripts/run_clang_tidy.sh build-precommit
+run_stage "run_cppcheck.sh (skips without cppcheck)" \
+  bash scripts/run_cppcheck.sh
+
+if [[ "${FAILED}" -ne 0 ]]; then
+  echo "precommit: FAILED (stages above)" >&2
+  exit 1
+fi
+echo "precommit: all stages passed" >&2

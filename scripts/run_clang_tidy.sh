@@ -64,25 +64,16 @@ fi
 
 # First-party TUs only: everything compiled from src/, tests/, bench/, or
 # examples/ — not sources FetchContent may have dropped into the build
-# tree (GoogleTest), which have their own style.
-FILES="$(python3 - "${BUILD_DIR}/compile_commands.json" "${REPO_ROOT}" <<'PY'
-import json
-import os
-import sys
-
-db_path, repo = sys.argv[1], sys.argv[2]
-roots = tuple(os.path.join(repo, d) + os.sep
-              for d in ("src", "tests", "bench", "examples"))
-seen = []
-with open(db_path) as fh:
-    for entry in json.load(fh):
-        path = os.path.normpath(
-            os.path.join(entry.get("directory", ""), entry["file"]))
-        if path.startswith(roots) and path not in seen:
-            seen.append(path)
-print("\n".join(seen))
-PY
-)"
+# tree (GoogleTest), which have their own style. Listed by lintlib.files,
+# which is strict: a malformed or unreadable database is a one-line
+# FATAL: diagnostic and exit 2, never a traceback — and never an empty
+# file list that would let a broken database "pass" as all-clean.
+if ! FILES="$(PYTHONPATH="${REPO_ROOT}/scripts/lint" \
+      python3 -m lintlib.files \
+      --compile-db "${BUILD_DIR}" --repo "${REPO_ROOT}")"; then
+  echo "error: first-party file listing failed (FATAL above)" >&2
+  exit 2
+fi
 
 if [[ -z "${FILES}" ]]; then
   echo "error: no first-party files in ${BUILD_DIR}/compile_commands.json" >&2

@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Runs cppcheck over the first-party sources (src/, tests/, bench/,
+# examples/ — excluding tests/lint/fixtures, whose trees contain planted
+# violations and deliberately invalid UTF-8).
+#
+# Usage: scripts/run_cppcheck.sh
+#
+# Environment:
+#   CPPCHECK=cppcheck-2.13       use a specific binary
+#   CHRONOS_CPPCHECK_STRICT=1    missing cppcheck is an error instead of
+#                                a skip (CI sets this; local gcc-only
+#                                machines get a loud no-op, mirroring
+#                                run_clang_tidy.sh and the shellcheck
+#                                gate in scripts/lint/check_shell.sh)
+#   CPPCHECK_JOBS=N              parallelism (default: nproc)
+#
+# Suppression policy (same as the project lints): every suppression is
+# inline (`// cppcheck-suppress <id>`) with a trailing reason, or listed
+# below with a comment explaining why the whole class is off. Never
+# suppress without a reason.
+#
+# Exit status: 0 when clean (or the tool is absent and strict mode is
+# off); non-zero otherwise.
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+
+CPPCHECK_BIN="${CPPCHECK:-}"
+if [[ -z "${CPPCHECK_BIN}" ]]; then
+  if command -v cppcheck >/dev/null 2>&1; then
+    CPPCHECK_BIN="cppcheck"
+  fi
+fi
+if [[ -z "${CPPCHECK_BIN}" ]]; then
+  if [[ "${CHRONOS_CPPCHECK_STRICT:-0}" == "1" ]]; then
+    echo "error: cppcheck not found and CHRONOS_CPPCHECK_STRICT=1" >&2
+    exit 1
+  fi
+  echo "SKIP: cppcheck not found on PATH; install it (or run in CI," >&2
+  echo "      where the static-analysis job provides it) to lint." >&2
+  exit 0
+fi
+
+JOBS="${CPPCHECK_JOBS:-$(nproc)}"
+
+# Class-wide suppressions, each with its reason:
+#   missingIncludeSystem   — cppcheck cannot see the sysroot; system
+#                            include resolution is the compiler's job.
+#   unusedFunction         — public API entry points are exercised from
+#                            tests/examples, which cppcheck analyses as
+#                            separate programs.
+#   unmatchedSuppression   — inline suppressions target ids that differ
+#                            across cppcheck versions; an unmatched one
+#                            on an older tool must not fail CI.
+"${CPPCHECK_BIN}" \
+  --std=c++20 --language=c++ --enable=warning,performance,portability \
+  --inline-suppr \
+  --suppress=missingIncludeSystem \
+  --suppress=unusedFunction \
+  --suppress=unmatchedSuppression \
+  -i "${REPO_ROOT}/tests/lint/fixtures" \
+  -I "${REPO_ROOT}/src" \
+  -j "${JOBS}" \
+  --quiet --error-exitcode=1 \
+  "${REPO_ROOT}/src" "${REPO_ROOT}/tests" "${REPO_ROOT}/bench" \
+  "${REPO_ROOT}/examples"
+
+echo "cppcheck: clean" >&2

@@ -101,8 +101,9 @@ class ChronosEngine {
   /// at the configured known distance). kUnknownNode for unregistered ids;
   /// kUnavailable on backends without device descriptions (install a
   /// recorded table via set_calibration instead).
-  chronos::Status calibrate(chronos::NodeId tx, chronos::NodeId rx,
-                            mathx::Rng& rng);
+  [[nodiscard]] chronos::Status calibrate(chronos::NodeId tx,
+                                          chronos::NodeId rx,
+                                          mathx::Rng& rng);
 
   /// Deprecated shim (pre-v2): registers both devices with the backend
   /// directory (simulator backends) and calibrates the pair directly.
@@ -119,19 +120,19 @@ class ChronosEngine {
   /// Time-of-flight / distance for one id-based request: resolution
   /// failures (unknown node, antenna out of range, unrecorded link) come
   /// back as the Status — never as an exception.
-  chronos::Result<RangingResult> measure(
+  [[nodiscard]] chronos::Result<RangingResult> measure(
       const chronos::RangingRequest& request, mathx::Rng& rng) const;
 
   /// The raw calibrated sweep `request` would measure — for recording
   /// campaigns (phy::save_sweep) and diagnostics. Draws from `rng` exactly
   /// like measure() does before estimation.
-  chronos::Result<phy::SweepMeasurement> capture_sweep(
+  [[nodiscard]] chronos::Result<phy::SweepMeasurement> capture_sweep(
       const chronos::RangingRequest& request, mathx::Rng& rng) const;
 
   /// Runs the estimation pipeline on an externally produced sweep using
   /// this engine's calibration (kMalformedSweep / kBandMismatch when the
   /// sweep does not fit the pipeline's band plan).
-  chronos::Result<RangingResult> estimate(
+  [[nodiscard]] chronos::Result<RangingResult> estimate(
       const phy::SweepMeasurement& sweep) const;
 
   /// Deprecated shim (pre-v2): registers both devices with the backend
@@ -186,7 +187,7 @@ class ChronosEngine {
   /// receiver with >= 2 antennas — failures come back in the Status.
   /// `options` sizes the worker fan-out; results are identical for every
   /// setting.
-  chronos::Result<LocateOutcome> locate(
+  [[nodiscard]] chronos::Result<LocateOutcome> locate(
       chronos::NodeId tx, chronos::NodeId rx, mathx::Rng& rng,
       const std::optional<geom::Vec2>& hint = std::nullopt,
       const BatchOptions& options = {}) const;

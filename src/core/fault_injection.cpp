@@ -13,8 +13,10 @@ namespace {
 
 /// split() tag of the stale stream a replayed sweep is drawn from
 /// ("stale" in ASCII): the deterministic stand-in for "an old capture of
-/// this link served from a cache".
-constexpr std::uint64_t kStaleStreamTag = 0x7374616C65ull;
+/// this link served from a cache". Defined in the mathx/stream_tags.hpp
+/// registry (it splits the FAULT stream, not the ticket stream — see the
+/// provenance note there); this is the file-local alias.
+constexpr std::uint64_t kStaleStreamTag = chronos::kStaleStreamTag;
 
 /// RMS magnitude of one capture's subcarrier values (noise scale anchor).
 double rms_magnitude(const std::vector<std::complex<double>>& values) {

@@ -30,6 +30,7 @@
 #include "core/sweep_source.hpp"
 #include "mathx/rng.hpp"
 #include "mathx/status.hpp"
+#include "mathx/stream_tags.hpp"
 #include "phy/csi.hpp"
 
 namespace chronos::core {
@@ -90,8 +91,9 @@ struct FaultProfile {
   static FaultProfile hostile(double rate_per_fault = 0.1);
 };
 
-/// split() tag of the per-request fault stream ("fault" in ASCII).
-inline constexpr std::uint64_t kFaultStreamTag = 0x6661756C74ull;
+/// split() tag of the per-request fault stream ("fault" in ASCII). Defined
+/// in the mathx/stream_tags.hpp registry; this is the layer-local alias.
+inline constexpr std::uint64_t kFaultStreamTag = chronos::kFaultStreamTag;
 
 /// One uniform draw from `fault_stream` mapped onto the profile's
 /// cumulative probabilities. Exposed (with apply_fault) so ground-truth
@@ -116,14 +118,14 @@ class FaultInjectingSweepSource final : public SweepSource {
 
   // NodeRegistry (forwarded to the wrapped backend)
   bool has_node(chronos::NodeId id) const override;
-  chronos::Result<std::size_t> antenna_count(chronos::NodeId id)
+  [[nodiscard]] chronos::Result<std::size_t> antenna_count(chronos::NodeId id)
       const override;
   std::vector<chronos::NodeId> nodes() const override;
 
   // SweepSource
-  chronos::Result<ResolvedRequest> resolve(
+  [[nodiscard]] chronos::Result<ResolvedRequest> resolve(
       const chronos::RangingRequest& request) const override;
-  chronos::Result<phy::SweepMeasurement> sweep_for(
+  [[nodiscard]] chronos::Result<phy::SweepMeasurement> sweep_for(
       const ResolvedRequest& req, mathx::Rng& rng) const override;
   const std::vector<phy::WifiBand>& bands() const override;
   bool has_geometry() const override;

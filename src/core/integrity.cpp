@@ -10,11 +10,11 @@ namespace chronos::core {
 
 namespace {
 
-chronos::Status malformed(const std::string& message) {
+[[nodiscard]] chronos::Status malformed(const std::string& message) {
   return {chronos::StatusCode::kMalformedSweep, message};
 }
 
-chronos::Status violation(const std::string& message) {
+[[nodiscard]] chronos::Status violation(const std::string& message) {
   return {chronos::StatusCode::kIntegrityViolation, message};
 }
 
@@ -44,7 +44,7 @@ double sweep_mean_snr_db(const phy::SweepMeasurement& sweep) {
   return n == 0 ? 0.0 : acc / static_cast<double>(n);
 }
 
-chronos::Status screen_sweep(const phy::SweepMeasurement& sweep,
+[[nodiscard]] chronos::Status screen_sweep(const phy::SweepMeasurement& sweep,
                              std::span<const phy::WifiBand> plan,
                              const IntegrityConfig& config) {
   const std::size_t n_subcarriers = phy::intel5300_subcarrier_indices().size();

@@ -222,7 +222,10 @@ SparseSolveResult NdftSolver::solve_ista(
   ws.active.clear();
 
   // Everything inside this loop works on workspace buffers: no allocation
-  // per iteration (tests/test_core_ndft_kernels.cpp counts).
+  // per iteration (tests/test_core_ndft_kernels.cpp counts at runtime;
+  // scripts/lint/check_noalloc.py bans allocating constructs in this
+  // region at lint time).
+  // lint:region(no-alloc)
   for (int t = 0; t < opts.max_iterations; ++t) {
     // Gradient step on ||h - F p||^2: p - gamma * F^H (F p - h), evaluated
     // by whichever arm the options/cost model select (the Toeplitz arms
@@ -246,6 +249,7 @@ SparseSolveResult NdftSolver::solve_ista(
         nr = pr * scale;
         ni = pi * scale;
         if (nr != 0.0 || ni != 0.0) {
+          // lint:allow(no-alloc): ws.active is reserved to cols at bind()
           ws.active.push_back(static_cast<std::uint32_t>(k));
         }
       }
@@ -261,6 +265,7 @@ SparseSolveResult NdftSolver::solve_ista(
       break;
     }
   }
+  // lint:endregion(no-alloc)
 
   out.residual_norm = residual_norm_active(plan, ws);
   out.coefficients = merge_planes(ws.p_re, ws.p_im);
@@ -311,6 +316,7 @@ SparseSolveResult NdftSolver::solve_fista(
   // order identical to the historical two-pass body — bit-identical
   // results (the momentum scalars t_next/beta never depend on the pass
   // structure).
+  // lint:region(no-alloc)
   for (int t = 0; t < opts.max_iterations; ++t) {
     dispatch_gradient(plan, opts.gradient, ws.y_re.data(), ws.y_im.data(),
                       ws);
@@ -342,6 +348,7 @@ SparseSolveResult NdftSolver::solve_fista(
       ws.y_im[k] = yi;
       diff_sq += step_re * step_re + step_im * step_im;
       if (yr != 0.0 || yi != 0.0) {
+        // lint:allow(no-alloc): ws.active is reserved to cols at bind()
         ws.active.push_back(static_cast<std::uint32_t>(k));
       }
     }
@@ -359,9 +366,11 @@ SparseSolveResult NdftSolver::solve_fista(
   ws.active.clear();
   for (std::size_t k = 0; k < m; ++k) {
     if (ws.p_re[k] != 0.0 || ws.p_im[k] != 0.0) {
+      // lint:allow(no-alloc): ws.active is reserved to cols at bind()
       ws.active.push_back(static_cast<std::uint32_t>(k));
     }
   }
+  // lint:endregion(no-alloc)
   out.residual_norm = residual_norm_active(plan, ws);
   out.coefficients = merge_planes(ws.p_re, ws.p_im);
   return out;

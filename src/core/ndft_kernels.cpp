@@ -394,6 +394,7 @@ void NdftPlan::clear_cache() {
 void NdftPlan::forward(const double* p_re, const double* p_im, double* out_re,
                        double* out_im) const {
   const std::size_t m = m_;
+  // lint:region(no-alloc)
   for (std::size_t r = 0; r < n_; ++r) {
     const double* fr = re_.data() + r * m;
     const double* fi = im_.data() + r * m;
@@ -410,12 +411,14 @@ void NdftPlan::forward(const double* p_re, const double* p_im, double* out_re,
     out_re[r] = acc_re;
     out_im[r] = acc_im;
   }
+  // lint:endregion(no-alloc)
 }
 
 void NdftPlan::forward_active(const double* p_re, const double* p_im,
                               std::span<const std::uint32_t> cols,
                               double* out_re, double* out_im) const {
   const std::size_t m = m_;
+  // lint:region(no-alloc)
   for (std::size_t r = 0; r < n_; ++r) {
     const double* fr = re_.data() + r * m;
     const double* fi = im_.data() + r * m;
@@ -433,12 +436,14 @@ void NdftPlan::forward_active(const double* p_re, const double* p_im,
     out_re[r] = acc_re;
     out_im[r] = acc_im;
   }
+  // lint:endregion(no-alloc)
 }
 
 void NdftPlan::adjoint(const double* x_re, const double* x_im,
                        double* CHRONOS_RESTRICT out_re,
                        double* CHRONOS_RESTRICT out_im) const {
   const std::size_t m = m_;
+  // lint:region(no-alloc)
   std::fill(out_re, out_re + m, 0.0);
   std::fill(out_im, out_im + m, 0.0);
   // out[c] += conj(F[r][c]) * x[r]. Every out[c] receives one addend per
@@ -486,6 +491,7 @@ void NdftPlan::adjoint(const double* x_re, const double* x_im,
       out_im[c] += fr[c] * xi - fi[c] * xr;
     }
   }
+  // lint:endregion(no-alloc)
 }
 
 void NdftPlan::gradient(const double* p_re, const double* p_im,
@@ -533,6 +539,7 @@ void NdftPlan::matched_filter_scan(std::span<const std::complex<double>> h,
   double* rot_re = buf + 2 * n_;
   double* rot_im = buf + 3 * n_;
 
+  // lint:region(no-alloc)  — everything per-step runs on the buffers above
   for (std::size_t i = 0; i < n_; ++i) {
     const std::complex<double> ratio =
         std::polar(1.0, mathx::kTwoPi * freqs_[i] * du);
@@ -562,6 +569,7 @@ void NdftPlan::matched_filter_scan(std::span<const std::complex<double>> h,
     }
     out[k] = std::sqrt(acc_re * acc_re + acc_im * acc_im);
   }
+  // lint:endregion(no-alloc)
 }
 
 }  // namespace chronos::core

@@ -46,6 +46,12 @@ RangingResult finish_with_retries(const SweepSource& source,
                                   const chronos::RetryPolicy& policy) {
   CHRONOS_EXPECTS(policy.max_attempts >= 1,
                   "RetryPolicy::max_attempts must be >= 1");
+  // The attempt ladder splits ticket_stream on kRetryStreamTag + a; the
+  // registry (mathx/stream_tags.hpp) reserves exactly kMaxRetryAttempts
+  // offsets for it, so stepping further could alias another tag's stream.
+  CHRONOS_EXPECTS(policy.max_attempts <= chronos::kMaxRetryAttempts,
+                  "RetryPolicy::max_attempts exceeds the retry stream-tag "
+                  "range (mathx/stream_tags.hpp)");
   RangingResult result = std::move(first_attempt);
   result.attempts = 1;
   if (policy.max_attempts == 1) return result;  // pre-retry behaviour

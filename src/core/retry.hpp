@@ -23,13 +23,15 @@
 #include "core/ranging.hpp"
 #include "core/sweep_source.hpp"
 #include "mathx/rng.hpp"
+#include "mathx/stream_tags.hpp"
 
 namespace chronos::core {
 
 /// split() tag of the retry attempt streams ("retry" in ASCII); attempt a
-/// uses kRetryStreamTag + a. Offsets keep the streams clear of the fault
-/// tag (core/fault_injection.hpp) and of plain ticket ids.
-inline constexpr std::uint64_t kRetryStreamTag = 0x7265747279ull;
+/// uses kRetryStreamTag + a. The registry (mathx/stream_tags.hpp) reserves
+/// a range of 4096 offsets for the ladder, keeping the streams clear of
+/// the fault tag and of plain ticket ids; this is the layer-local alias.
+inline constexpr std::uint64_t kRetryStreamTag = chronos::kRetryStreamTag;
 
 /// One ranging attempt: sweep_for on `attempt_rng`, then the pipeline.
 /// Failures land in the result's status (never thrown).

@@ -170,7 +170,11 @@ chronos::Result<std::uint64_t> RangingSession::try_submit(
   // saturating producer, and it must not pay a directory lookup (plus two
   // device copies) just to throw the result away. try_submit_resolved
   // re-checks under the lock, so a concurrent producer sneaking in
-  // between the two checks still cannot overfill the queue.
+  // between the two checks still cannot overfill the queue. The check
+  // itself must stay allocation-free (a malloc under a saturating
+  // producer's rejection path would serialize producers on the heap
+  // lock) — the lint region makes that a compile-tree guarantee.
+  // lint:region(no-alloc)
   {
     chronos::MutexLock lock(state_->shared->mutex);
     if (state_->shared->submitted - state_->shared->finished >=
@@ -178,6 +182,7 @@ chronos::Result<std::uint64_t> RangingSession::try_submit(
       return queue_full();
     }
   }
+  // lint:endregion(no-alloc)
   auto resolved = state_->shared->source->resolve(request);
   if (!resolved.ok()) return resolved.status();
   const auto ticket = try_submit_resolved(std::move(resolved).value());
@@ -198,6 +203,9 @@ std::optional<std::uint64_t> RangingSession::try_submit_resolved(
   CHRONOS_EXPECTS(state_ != nullptr, "try_submit() on an invalid session");
   auto& shared = *state_->shared;
   std::uint64_t ticket = 0;
+  // Admission itself is allocation-free (see try_submit): check + ticket
+  // claim touch only counters under the lock.
+  // lint:region(no-alloc)
   {
     chronos::MutexLock lock(shared.mutex);
     if (shared.submitted - shared.finished >= state_->depth) {
@@ -205,6 +213,7 @@ std::optional<std::uint64_t> RangingSession::try_submit_resolved(
     }
     ticket = shared.submitted++;
   }
+  // lint:endregion(no-alloc)
   auto payload = state_->shared;
   (void)state_->pool->submit([payload, ticket, request]() {
     complete(payload, ticket, range_one(*payload, ticket, request));

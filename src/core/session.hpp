@@ -38,6 +38,7 @@
 #include "core/sweep_source.hpp"
 #include "mathx/rng.hpp"
 #include "mathx/status.hpp"
+#include "mathx/stream_tags.hpp"
 
 namespace chronos::core {
 
@@ -45,8 +46,9 @@ class WorkerPool;
 
 /// fork() tag for a session/batch base stream ("batch" in ASCII). One
 /// shared constant so every ingestion path — sync batch, async batch,
-/// streaming session — advances the caller's rng identically.
-inline constexpr std::uint64_t kBatchStreamTag = 0x6261746368ull;
+/// streaming session — advances the caller's rng identically. Defined in
+/// the mathx/stream_tags.hpp registry; this is the layer-local alias.
+inline constexpr std::uint64_t kBatchStreamTag = chronos::kBatchStreamTag;
 
 class RangingSession {
  public:
@@ -73,13 +75,14 @@ class RangingSession {
   /// Never blocks. Capacity is checked BEFORE resolution (rejection is
   /// the hot path of a saturating producer), so a full queue reports
   /// kQueueFull even for requests that would not resolve.
-  chronos::Result<std::uint64_t> try_submit(
+  [[nodiscard]] chronos::Result<std::uint64_t> try_submit(
       const chronos::RangingRequest& request);
 
   /// Like try_submit, but blocks until a slot frees. Resolution failures
   /// return without blocking. Must not be called from a pool worker (a
   /// full queue would then deadlock against itself).
-  chronos::Result<std::uint64_t> submit(const chronos::RangingRequest& request);
+  [[nodiscard]] chronos::Result<std::uint64_t> submit(
+      const chronos::RangingRequest& request);
 
   /// Pre-resolved admission (the engine/batch adapters): blocking.
   std::uint64_t submit_resolved(const ResolvedRequest& request);

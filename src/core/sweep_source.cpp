@@ -21,13 +21,13 @@ std::vector<phy::WifiBand> bands_of(const phy::SweepMeasurement& sweep) {
   return bands;
 }
 
-chronos::Status unknown_node(chronos::NodeId id) {
+[[nodiscard]] chronos::Status unknown_node(chronos::NodeId id) {
   return {chronos::StatusCode::kUnknownNode,
           "no node with id " + std::to_string(id.value)};
 }
 
-chronos::Status antenna_out_of_range(const chronos::AntennaRef& ref,
-                                     std::size_t arity) {
+[[nodiscard]] chronos::Status antenna_out_of_range(
+    const chronos::AntennaRef& ref, std::size_t arity) {
   return {chronos::StatusCode::kAntennaOutOfRange,
           "node " + std::to_string(ref.node.value) + " has " +
               std::to_string(arity) + " antenna(s); no antenna " +

@@ -79,7 +79,7 @@ class SweepSource : public chronos::NodeRegistry {
  public:
   /// Resolves a public id-based request against this backend's directory:
   /// kUnknownNode / kAntennaOutOfRange / kUnknownLink on failure.
-  virtual chronos::Result<ResolvedRequest> resolve(
+  [[nodiscard]] virtual chronos::Result<ResolvedRequest> resolve(
       const chronos::RangingRequest& request) const = 0;
 
   /// The calibrated per-band sweep for `req`, or the Status explaining why
@@ -87,7 +87,7 @@ class SweepSource : public chronos::NodeRegistry {
   /// and report unserveable requests as a Status — never crash or read
   /// out of bounds: resolved requests are also built directly by the
   /// deprecated Device shims, without passing through resolve().
-  virtual chronos::Result<phy::SweepMeasurement> sweep_for(
+  [[nodiscard]] virtual chronos::Result<phy::SweepMeasurement> sweep_for(
       const ResolvedRequest& req, mathx::Rng& rng) const = 0;
 
   /// Bands every sweep from this source covers, in sweep order.
@@ -128,14 +128,14 @@ class SimSweepSource final : public SweepSource {
 
   // NodeRegistry
   bool has_node(chronos::NodeId id) const override;
-  chronos::Result<std::size_t> antenna_count(chronos::NodeId id)
+  [[nodiscard]] chronos::Result<std::size_t> antenna_count(chronos::NodeId id)
       const override;
   std::vector<chronos::NodeId> nodes() const override;
 
   // SweepSource
-  chronos::Result<ResolvedRequest> resolve(
+  [[nodiscard]] chronos::Result<ResolvedRequest> resolve(
       const chronos::RangingRequest& request) const override;
-  chronos::Result<phy::SweepMeasurement> sweep_for(
+  [[nodiscard]] chronos::Result<phy::SweepMeasurement> sweep_for(
       const ResolvedRequest& req, mathx::Rng& rng) const override;
   const std::vector<phy::WifiBand>& bands() const override;
   bool has_geometry() const override { return true; }
@@ -191,12 +191,12 @@ class TraceSweepSource final : public SweepSource {
   /// Records `sweep` under `key`: kMalformedSweep when the sweep is
   /// structurally invalid, kBandMismatch when its bands disagree with the
   /// bands established by the first recorded sweep.
-  chronos::Status try_add_sweep(const TraceKey& key,
+  [[nodiscard]] chronos::Status try_add_sweep(const TraceKey& key,
                                 phy::SweepMeasurement sweep);
 
   /// Loads a phy::csi_io trace file and records it under `key` (adds file
   /// open/parse failures to the try_add_sweep statuses).
-  chronos::Status try_add_sweep_file(const TraceKey& key,
+  [[nodiscard]] chronos::Status try_add_sweep_file(const TraceKey& key,
                                      const std::string& path);
 
   /// Throwing convenience wrappers (std::invalid_argument on failure) for
@@ -206,14 +206,14 @@ class TraceSweepSource final : public SweepSource {
 
   // NodeRegistry
   bool has_node(chronos::NodeId id) const override;
-  chronos::Result<std::size_t> antenna_count(chronos::NodeId id)
+  [[nodiscard]] chronos::Result<std::size_t> antenna_count(chronos::NodeId id)
       const override;
   std::vector<chronos::NodeId> nodes() const override;
 
   // SweepSource
-  chronos::Result<ResolvedRequest> resolve(
+  [[nodiscard]] chronos::Result<ResolvedRequest> resolve(
       const chronos::RangingRequest& request) const override;
-  chronos::Result<phy::SweepMeasurement> sweep_for(
+  [[nodiscard]] chronos::Result<phy::SweepMeasurement> sweep_for(
       const ResolvedRequest& req, mathx::Rng& rng) const override;
   const std::vector<phy::WifiBand>& bands() const override;
   bool has_geometry() const override { return false; }

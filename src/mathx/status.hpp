@@ -117,14 +117,17 @@ constexpr std::optional<StatusCode> code_from_name(std::string_view name) {
 
 /// A typed, recoverable outcome: kOk (default construction) or an error
 /// code with a message. Cheap to copy on the success path (empty message).
-class Status {
+/// [[nodiscard]] at class scope: ignoring a returned Status silently
+/// swallows the error channel, so every discard is a compile warning
+/// (-Werror in this tree) unless explicitly (void)-cast with a reason.
+class [[nodiscard]] Status {
  public:
   /// Default = success.
   Status() = default;
   Status(StatusCode code, std::string message)
       : code_(code), message_(std::move(message)) {}
 
-  static Status Ok() { return Status(); }
+  [[nodiscard]] static Status Ok() { return Status(); }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }

@@ -1,0 +1,4 @@
+// Planted invalid UTF-8: the strict-decode contract must make the
+// checkers exit 2 with a FATAL diagnostic, never skip or mangle this
+// file. Bytes below are 0xFF 0xFE (not a valid UTF-8 sequence).
+int bad = 0; // ÿþ

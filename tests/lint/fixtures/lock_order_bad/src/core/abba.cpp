@@ -1,0 +1,28 @@
+// Planted ABBA deadlock for the lock-order lint fixture: transfer_ab
+// nests b inside a, transfer_ba nests a inside b. Each function passes
+// clang -Wthread-safety in isolation; together they can deadlock. The
+// checker must find the a -> b -> a cycle in the acquisition graph.
+#include "mathx/annotations.hpp"
+
+namespace chronos {
+
+struct PairState {
+  Mutex a;
+  Mutex b;
+  int in_a CHRONOS_GUARDED_BY(a) = 0;
+  int in_b CHRONOS_GUARDED_BY(b) = 0;
+};
+
+inline void transfer_ab(PairState& s) {
+  chronos::MutexLock la(s.a);
+  chronos::MutexLock lb(s.b);  // edge: a -> b
+  s.in_b += s.in_a;
+}
+
+inline void transfer_ba(PairState& s) {
+  chronos::MutexLock lb(s.b);
+  chronos::MutexLock la(s.a);  // edge: b -> a — closes the cycle
+  s.in_a += s.in_b;
+}
+
+}  // namespace chronos

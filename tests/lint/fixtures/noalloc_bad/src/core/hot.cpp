@@ -1,0 +1,20 @@
+// Planted violations for the no-alloc lint fixture: a vector grown and
+// an operator-new call inside a lint:region(no-alloc). The allow-marked
+// push_back must NOT be reported (statement-scoped suppression).
+#include <vector>
+
+namespace chronos {
+
+inline void hot_loop(std::vector<int>& out, std::vector<int>& scratch) {
+  // lint:region(no-alloc)
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(i);  // violation: unbounded growth in the hot loop
+    int* leak = new int(i);  // violation: operator new in the hot loop
+    scratch.push_back(  // lint:allow(no-alloc): scratch reserved by caller
+        *leak);
+    delete leak;
+  }
+  // lint:endregion(no-alloc)
+}
+
+}  // namespace chronos

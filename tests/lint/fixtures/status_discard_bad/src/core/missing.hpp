@@ -1,0 +1,19 @@
+// Planted violations for the status-discard lint fixture: a Status- and
+// a Result-returning declaration with no [[nodiscard]]. The marked
+// declaration in between must NOT be reported.
+#pragma once
+
+#include "mathx/status.hpp"
+
+namespace chronos {
+
+class Planted {
+ public:
+  Status unguarded();
+
+  [[nodiscard]] Status guarded();  // fine: carries the attribute
+
+  Result<int> unguarded_result(int x);
+};
+
+}  // namespace chronos

@@ -1,0 +1,16 @@
+// Planted-violation registry for the stream-tag lint fixture
+// (tests/lint/fixtures/stream_tags_bad). Violation #1 lives right here:
+// kPlantedBetaStreamTag = 0x108 sits inside kPlantedAlphaStreamTag's
+// reserved range [0x100, 0x110) — a range collision.
+#pragma once
+
+#include <cstdint>
+
+namespace chronos {
+
+// lint:stream-tag-registry-begin
+inline constexpr std::uint64_t kPlantedAlphaStreamTag = 0x100ull;  // lint:stream-tag(range=16)
+inline constexpr std::uint64_t kPlantedBetaStreamTag = 0x108ull;  // lint:stream-tag(range=1)
+// lint:stream-tag-registry-end
+
+}  // namespace chronos

@@ -1,0 +1,233 @@
+#!/usr/bin/env python3
+"""Unit tests for scripts/lint/lintlib — the shared analysis framework.
+
+Covers the pieces every checker trusts blindly:
+
+  * tokenizer  — raw strings, line-spliced // comments, multi-line block
+                 comments, escapes, markers hidden inside literals;
+  * includes   — commented-out includes are not edges; cycle detection;
+  * suppress   — statement-scoped allow markers, region pairing, and the
+                 FATAL contract for malformed regions;
+  * files      — strict UTF-8 reads, fixture-tree pruning;
+  * driver     — exceptions become one-line FATAL + exit 2, never a bare
+                 traceback (checked in-process AND end-to-end through a
+                 real checker subprocess on the decode_bad fixture).
+
+Registered as CTest case `lint_lintlib` (label `lint`).
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import subprocess
+import sys
+import unittest
+from contextlib import redirect_stderr
+
+REPO_ROOT = os.path.dirname(os.path.dirname(
+    os.path.dirname(os.path.abspath(__file__))))
+LINT_DIR = os.path.join(REPO_ROOT, "scripts", "lint")
+FIXTURES = os.path.join(REPO_ROOT, "tests", "lint", "fixtures")
+sys.path.insert(0, LINT_DIR)
+
+from lintlib import files, includes, suppress, tokenizer  # noqa: E402
+from lintlib.driver import FatalLintError, run_checker  # noqa: E402
+
+
+def strip(text: str) -> list[str]:
+    return tokenizer.strip_comments_and_strings(text)
+
+
+class TokenizerTest(unittest.TestCase):
+    def test_line_comment(self):
+        self.assertEqual(strip("int x = 1;  // rand()\n"),
+                         ["int x = 1;  "])
+
+    def test_line_spliced_comment_continues(self):
+        # A backslash at the end of a // line splices the next line into
+        # the comment — the rand() below must vanish with it.
+        out = strip("int x;  // comment \\\nrand();\nint y;\n")
+        self.assertEqual(out[0], "int x;  ")
+        self.assertEqual(out[1], "")
+        self.assertEqual(out[2], "int y;")
+
+    def test_block_comment_multiline(self):
+        out = strip("a; /* one\ntwo\nthree */ b;\n")
+        self.assertEqual(out, ["a;  ", "", " b;"])
+
+    def test_block_comment_markers_inside_string(self):
+        self.assertEqual(strip('call("/* not a comment */");\n'),
+                         ['call("");'])
+
+    def test_string_with_escapes(self):
+        self.assertEqual(strip(r'p("a\"b // not comment");' + "\n"),
+                         ['p("");'])
+
+    def test_char_literal(self):
+        self.assertEqual(strip("char c = '\\''; int y;\n"),
+                         ["char c = ''; int y;"])
+
+    def test_raw_string_single_line(self):
+        self.assertEqual(strip('auto s = R"(rand() // x)"; f();\n'),
+                         ['auto s = ""; f();'])
+
+    def test_raw_string_multiline_with_delim(self):
+        out = strip('auto s = uR"ab(one\nrand()\n)ab"; g();\n')
+        self.assertEqual(out, ['auto s = ', "", '""; g();'])
+
+    def test_comment_containing_quote(self):
+        self.assertEqual(strip('x; // it\'s fine\ny;\n'), ["x; ", "y;"])
+
+    def test_line_count_preserved(self):
+        text = "a\n/*\n*/\nb\n"
+        self.assertEqual(len(strip(text)), 4)
+
+
+class IncludesTest(unittest.TestCase):
+    def test_commented_out_include_is_not_an_edge(self):
+        text = ('#include "core/a.hpp"\n'
+                '// #include "core/b.hpp"\n'
+                '/* #include "core/c.hpp" */\n')
+        self.assertEqual(includes.quoted_includes(text),
+                         [(1, "core/a.hpp")])
+
+    def test_include_inside_string_is_not_an_edge(self):
+        text = 'const char* s = "#include \\"core/a.hpp\\"";\n'
+        self.assertEqual(includes.quoted_includes(text), [])
+
+    def test_nested_includes_build_graph_edges(self):
+        graph = includes.build_graph({
+            "a.hpp": ["b.hpp"], "b.hpp": ["c.hpp"],
+            "c.hpp": [], "d.hpp": ["missing.hpp"]})
+        self.assertEqual(graph["a.hpp"], {"b.hpp"})
+        self.assertEqual(graph["d.hpp"], set())  # unknown target dropped
+
+    def test_find_cycles(self):
+        graph = {"a": {"b"}, "b": {"c"}, "c": {"a"}, "d": set()}
+        cycles = includes.find_cycles(graph)
+        self.assertEqual(len(cycles), 1)
+        self.assertEqual(cycles[0][0], cycles[0][-1])
+        self.assertEqual(set(cycles[0]), {"a", "b", "c"})
+
+    def test_acyclic_graph_has_no_cycles(self):
+        self.assertEqual(includes.find_cycles(
+            {"a": {"b"}, "b": {"c"}, "c": set()}), [])
+
+
+class SuppressTest(unittest.TestCase):
+    def _allow(self, text: str, rule: str = "r") -> set[int]:
+        raw = text.splitlines()
+        return suppress.allow_lines(raw, strip(text), rule)
+
+    def test_allow_covers_own_line_only_for_one_statement(self):
+        text = ("bad();  // lint:allow(r): reason\n"
+                "also_bad();\n")
+        self.assertEqual(self._allow(text), {1})
+
+    def test_allow_spans_multiline_statement(self):
+        text = ("// lint:allow(r): reason\n"
+                "call(arg1,\n"
+                "     arg2);\n"
+                "next();\n")
+        self.assertEqual(self._allow(text), {1, 2, 3})
+
+    def test_allow_is_rule_scoped(self):
+        text = "bad();  // lint:allow(other): reason\n"
+        self.assertEqual(self._allow(text, "r"), set())
+
+    def test_region_pairing(self):
+        text = ("x;\n// lint:region(r)\ny;\n// lint:endregion(r)\nz;\n")
+        self.assertEqual(
+            suppress.regions(text.splitlines(), "r"), [(2, 4)])
+
+    def test_region_mention_in_prose_is_ignored(self):
+        text = "// docs mention lint:region(r) mid-sentence\nx;\n"
+        self.assertEqual(suppress.regions(text.splitlines(), "r"), [])
+
+    def test_unclosed_region_is_fatal(self):
+        with self.assertRaises(FatalLintError):
+            suppress.regions(["// lint:region(r)", "x;"], "r")
+
+    def test_stray_endregion_is_fatal(self):
+        with self.assertRaises(FatalLintError):
+            suppress.regions(["// lint:endregion(r)"], "r")
+
+    def test_nested_region_is_fatal(self):
+        with self.assertRaises(FatalLintError):
+            suppress.regions(
+                ["// lint:region(r)", "// lint:region(r)"], "r")
+
+
+class FilesTest(unittest.TestCase):
+    def test_read_source_rejects_bad_utf8(self):
+        path = os.path.join(FIXTURES, "decode_bad", "src", "core",
+                            "bad_utf8.cpp")
+        with self.assertRaises(FatalLintError):
+            files.read_source(path)
+
+    def test_read_source_missing_file_is_fatal(self):
+        with self.assertRaises(FatalLintError):
+            files.read_source(os.path.join(FIXTURES, "no_such_file.cpp"))
+
+    def test_walk_prunes_fixture_trees(self):
+        walked = files.walk_sources(REPO_ROOT, ("tests",))
+        self.assertTrue(walked, "tests/ walk found nothing")
+        for path in walked:
+            self.assertNotIn("fixtures", path.split(os.sep))
+
+
+class DriverTest(unittest.TestCase):
+    def test_fatal_error_exits_2(self):
+        def boom() -> int:
+            raise FatalLintError("expected failure")
+        err = io.StringIO()
+        with redirect_stderr(err):
+            self.assertEqual(run_checker(boom), 2)
+        self.assertIn("FATAL: expected failure", err.getvalue())
+
+    def test_unexpected_exception_exits_2_without_traceback(self):
+        def boom() -> int:
+            raise ValueError("bug in checker")
+        err = io.StringIO()
+        with redirect_stderr(err):
+            self.assertEqual(run_checker(boom), 2)
+        self.assertIn("FATAL:", err.getvalue())
+        self.assertNotIn("Traceback", err.getvalue())
+
+    def test_clean_exit_passes_through(self):
+        self.assertEqual(run_checker(lambda: 0), 0)
+        self.assertEqual(run_checker(lambda: 1), 1)
+
+
+class CheckerSubprocessTest(unittest.TestCase):
+    """End-to-end: real checker processes obey the exit-code contract."""
+
+    def _run(self, checker: str, root: str) -> subprocess.CompletedProcess:
+        return subprocess.run(
+            [sys.executable, os.path.join(LINT_DIR, checker),
+             "--root", root],
+            capture_output=True, text=True)
+
+    def test_bad_utf8_is_fatal_exit_2(self):
+        proc = self._run("check_determinism.py",
+                         os.path.join(FIXTURES, "decode_bad"))
+        self.assertEqual(proc.returncode, 2, proc.stderr)
+        self.assertIn("FATAL:", proc.stderr)
+        self.assertNotIn("Traceback", proc.stderr)
+
+    def test_missing_tree_is_fatal_exit_2(self):
+        proc = self._run("check_layering.py",
+                         os.path.join(FIXTURES, "does_not_exist"))
+        self.assertEqual(proc.returncode, 2, proc.stderr)
+        self.assertIn("FATAL:", proc.stderr)
+
+    def test_violations_are_exit_1(self):
+        proc = self._run("check_noalloc.py",
+                         os.path.join(FIXTURES, "noalloc_bad"))
+        self.assertEqual(proc.returncode, 1, proc.stderr)
+        self.assertNotIn("FATAL:", proc.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main()
