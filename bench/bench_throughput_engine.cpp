@@ -1,9 +1,11 @@
 // Ranging throughput of the batched engine runtime: ranges/sec for one
 // fixed request mix at 1/2/4/8 worker threads, an async-ingestion run with
 // pipelined submit_batch handles, a sustained bounded-queue backpressure
-// run (RangingSession::try_submit at queue depths 1/8/64), plus the
-// scaling curve and a determinism cross-check (every configuration must
-// reproduce the 1-thread results bit-for-bit). The engine session grows by
+// run (RangingSession::try_submit at queue depths 1/8/64), a chronosd
+// daemon-over-loopback sweep (clients x shard queue depth, with wire-level
+// kQueueFull retry ratios), plus the scaling curve and a determinism
+// cross-check (every configuration must reproduce the 1-thread results
+// bit-for-bit — including the replies that crossed the wire). The engine session grows by
 // replacement (2 -> 4 -> 8), so each sized step starts on fresh workers;
 // the warm-persistent-worker payoff shows in the async section, which
 // reuses the fully-grown pool across all pipelined batches.
@@ -23,12 +25,16 @@
 // workload is embarrassingly parallel and scales to min(N, 8) here.
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <thread>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "core/engine.hpp"
+#include "netd/client.hpp"
+#include "netd/daemon.hpp"
+#include "netd/loopback.hpp"
 #include "sim/scenario.hpp"
 
 int main() {
@@ -174,6 +180,112 @@ int main() {
     backpressure_metrics.emplace_back("accepted_per_sec" + suffix, rate);
   }
 
+  // chronosd over loopback: the same request mix served through the wire
+  // protocol — M concurrent clients against a 2-shard daemon at two shard
+  // queue depths. Depth 1 forces the flow control onto the WIRE (kQueueFull
+  // responses the client library retries through) instead of in-process
+  // try_submit; depth 64 admits nearly everything on first contact. The
+  // retry ratio is the fraction of request frames that were backpressure
+  // round-trips. Every reply is still cross-checked bit-for-bit against
+  // measure_batch over the daemon's admitted-request log: the determinism
+  // contract survives the wire, whatever the client/depth interleaving.
+  std::printf("\n  chronosd over loopback (2 shards, clients x depth "
+              "sweep, %d ranges per cell)\n", kRequests);
+  std::printf("  %-8s %-8s %-10s %-10s %-14s %-12s\n", "clients", "depth",
+              "admitted", "rejected", "retry ratio", "ranges/sec");
+  std::vector<std::pair<std::string, double>> daemon_metrics;
+  for (const std::size_t n_clients : {std::size_t{1}, std::size_t{4}}) {
+    for (const std::size_t depth : {std::size_t{1}, std::size_t{64}}) {
+      netd::DaemonOptions opt;
+      opt.shards = 2;
+      opt.shard_queue_depth = depth;
+      opt.trusted_clients = true;  // same RangingConfig as `eng` exactly
+      mathx::Rng daemon_rng(kBatchSeed);
+      netd::ChronosDaemon daemon(src, ec.ranging, eng.calibration(),
+                                 daemon_rng, opt);
+      std::vector<std::shared_ptr<netd::Stream>> ends;
+      for (std::size_t c = 0; c < n_clients; ++c) {
+        auto [client_end, daemon_end] = netd::make_loopback();
+        daemon.attach(daemon_end);
+        ends.push_back(client_end);
+      }
+      // Disjoint strided slices of the fixed mix, one per client: every
+      // request stays unique, so each reply maps to exactly one admitted
+      // slot when replaying the log through measure_batch below.
+      std::vector<std::vector<netd::RangingReply>> replies(n_clients);
+      std::vector<int> transport_errors(n_clients, 0);
+      const auto t_daemon0 = std::chrono::steady_clock::now();
+      std::vector<std::thread> drivers;
+      for (std::size_t c = 0; c < n_clients; ++c) {
+        drivers.emplace_back([&, c]() {
+          netd::ChronosClient client(ends[c]);
+          if (!client.connect().ok()) {
+            transport_errors[c] = 1;
+            return;
+          }
+          for (std::size_t i = c; i < requests.size(); i += n_clients) {
+            if (!client.submit(requests[i]).ok()) {
+              transport_errors[c] = 1;
+              return;
+            }
+          }
+          replies[c] = client.drain();
+          if (!client.close().ok()) transport_errors[c] = 1;
+        });
+      }
+      daemon.serve();
+      for (auto& t : drivers) t.join();
+      const double daemon_wall =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        t_daemon0)
+              .count();
+      for (const int rc : transport_errors) mismatches += rc;
+
+      // Bit-identity across the wire: replay the admitted log in-process.
+      const auto& admitted = daemon.admitted_requests();
+      mathx::Rng replay_rng(kBatchSeed);
+      const auto replay = eng.measure_batch(admitted, replay_rng, {});
+      for (std::size_t c = 0; c < n_clients; ++c) {
+        for (std::size_t i = 0; i < replies[c].size(); ++i) {
+          const auto& request = requests[c + i * n_clients];
+          std::size_t slot = admitted.size();
+          for (std::size_t g = 0; g < admitted.size(); ++g) {
+            if (admitted[g] == request) slot = g;
+          }
+          if (slot == admitted.size()) {
+            ++mismatches;
+            continue;
+          }
+          const auto expected = netd::reply_of(replay.results[slot]);
+          const auto& got = replies[c][i];
+          if (got.status.code() != expected.status.code() ||
+              std::memcmp(&got.tof_s, &expected.tof_s, sizeof(double)) != 0 ||
+              std::memcmp(&got.distance_m, &expected.distance_m,
+                          sizeof(double)) != 0) {
+            ++mismatches;
+          }
+        }
+      }
+
+      const auto& dstats = daemon.stats();
+      const double rejected =
+          static_cast<double>(dstats.queue_full_rejections);
+      const double retry_ratio =
+          rejected / (static_cast<double>(dstats.admitted) + rejected);
+      const double daemon_rate =
+          static_cast<double>(dstats.admitted) / daemon_wall;
+      std::printf("  %-8zu %-8zu %-10llu %-10.0f %-14.3f %-12.1f\n",
+                  n_clients, depth,
+                  static_cast<unsigned long long>(dstats.admitted), rejected,
+                  retry_ratio, daemon_rate);
+      const std::string suffix =
+          "_c" + std::to_string(n_clients) + "_d" + std::to_string(depth);
+      daemon_metrics.emplace_back("daemon_retry_ratio" + suffix, retry_ratio);
+      daemon_metrics.emplace_back("daemon_ranges_per_sec" + suffix,
+                                  daemon_rate);
+    }
+  }
+
   const double per_estimate_ms = 1e3 / rate_1t;
   std::printf("\n");
   bench::paper_vs_measured("single-pair estimate budget", 80.0,
@@ -188,6 +300,8 @@ int main() {
       {"mismatches", static_cast<double>(mismatches)}};
   metrics.insert(metrics.end(), backpressure_metrics.begin(),
                  backpressure_metrics.end());
+  metrics.insert(metrics.end(), daemon_metrics.begin(),
+                 daemon_metrics.end());
   bench::json_summary("throughput", metrics);
   return mismatches == 0 ? 0 : 1;
 }

@@ -1,9 +1,9 @@
 #!/usr/bin/env python3
-"""Header-level layering lint: enforce the 9-layer DAG on #include edges.
+"""Header-level layering lint: enforce the 10-layer DAG on #include edges.
 
 The build (src/CMakeLists.txt) enforces the layer DAG
 
-    mathx -> phy / geom -> sim -> core -> {baseline, drone}
+    mathx -> phy / geom -> sim -> core -> {baseline, drone, netd}
     mathx -> net
     mathx -> phy -> proto
 
@@ -53,6 +53,7 @@ LAYER_DEPS = {
     "core": {"mathx", "phy", "geom", "sim"},
     "baseline": {"mathx", "phy", "geom", "sim", "core"},
     "net": {"mathx"},
+    "netd": {"mathx", "phy", "geom", "sim", "core"},
     "proto": {"mathx", "phy"},
     "drone": {"mathx", "phy", "geom", "sim", "core"},
 }

@@ -47,20 +47,21 @@ struct Shared {
         retry(retry_policy) {}
 };
 
-/// Ranges one resolved request on ticket `ticket`'s split stream. All
-/// request-shaped failures land in the result's status; anything thrown is
-/// a library defect, captured as kInternal so one bad job cannot poison
-/// the pool or the session.
-RangingResult range_one(const Shared& shared, std::uint64_t ticket,
+/// Ranges one resolved request on split stream `stream_index` (the local
+/// ticket for plain sessions; a caller-owned global index for sharded
+/// ones). All request-shaped failures land in the result's status;
+/// anything thrown is a library defect, captured as kInternal so one bad
+/// job cannot poison the pool or the session.
+RangingResult range_one(const Shared& shared, std::uint64_t stream_index,
                         const ResolvedRequest& request) {
   RangingResult result;
   try {
-    // Ticket stream + retries: attempt 0 consumes a copy of split(ticket)
+    // Ticket stream + retries: attempt 0 consumes a copy of split(i)
     // exactly as the retry-free path consumed the split itself; retry a
-    // draws from split(ticket).split(kRetryStreamTag + a).
+    // draws from split(i).split(kRetryStreamTag + a).
     result = range_with_retries(*shared.source, *shared.pipeline,
                                 *shared.calibration, request,
-                                shared.base.split(ticket), shared.retry);
+                                shared.base.split(stream_index), shared.retry);
   } catch (const std::exception& e) {
     result = RangingResult{};
     result.status = {chronos::StatusCode::kInternal, e.what()};
@@ -201,24 +202,44 @@ chronos::Result<std::uint64_t> RangingSession::submit(
 std::optional<std::uint64_t> RangingSession::try_submit_resolved(
     const ResolvedRequest& request) {
   CHRONOS_EXPECTS(state_ != nullptr, "try_submit() on an invalid session");
+  const auto ticket = claim_ticket_if_room();
+  if (!ticket) return std::nullopt;
+  // Local admission: the ticket addresses its own split stream.
+  enqueue_one(*ticket, *ticket, request);
+  return ticket;
+}
+
+std::optional<std::uint64_t> RangingSession::try_submit_resolved_stream(
+    const ResolvedRequest& request, std::uint64_t stream_index) {
+  CHRONOS_EXPECTS(state_ != nullptr,
+                  "try_submit_resolved_stream() on an invalid session");
+  const auto ticket = claim_ticket_if_room();
+  if (!ticket) return std::nullopt;
+  // Sharded admission: the caller owns the global stream space.
+  enqueue_one(*ticket, stream_index, request);
+  return ticket;
+}
+
+std::optional<std::uint64_t> RangingSession::claim_ticket_if_room() {
   auto& shared = *state_->shared;
-  std::uint64_t ticket = 0;
   // Admission itself is allocation-free (see try_submit): check + ticket
   // claim touch only counters under the lock.
   // lint:region(no-alloc)
-  {
-    chronos::MutexLock lock(shared.mutex);
-    if (shared.submitted - shared.finished >= state_->depth) {
-      return std::nullopt;
-    }
-    ticket = shared.submitted++;
+  chronos::MutexLock lock(shared.mutex);
+  if (shared.submitted - shared.finished >= state_->depth) {
+    return std::nullopt;
   }
+  return shared.submitted++;
   // lint:endregion(no-alloc)
+}
+
+void RangingSession::enqueue_one(std::uint64_t ticket,
+                                 std::uint64_t stream_index,
+                                 const ResolvedRequest& request) {
   auto payload = state_->shared;
-  (void)state_->pool->submit([payload, ticket, request]() {
-    complete(payload, ticket, range_one(*payload, ticket, request));
+  (void)state_->pool->submit([payload, ticket, stream_index, request]() {
+    complete(payload, ticket, range_one(*payload, stream_index, request));
   });
-  return ticket;
 }
 
 std::uint64_t RangingSession::submit_resolved(const ResolvedRequest& request) {
@@ -369,6 +390,19 @@ RangingSession open_ranging_session(
     std::shared_ptr<const RangingPipeline> pipeline,
     std::shared_ptr<const CalibrationTable> calibration, mathx::Rng& rng,
     std::size_t queue_depth, const chronos::RetryPolicy& retry) {
+  // One fork on kBatchStreamTag — the same single rng advancement every
+  // ingestion path performs — then adopt it.
+  return open_ranging_session_sharded(
+      std::move(pool), std::move(source), std::move(pipeline),
+      std::move(calibration), rng.fork(kBatchStreamTag), queue_depth, retry);
+}
+
+RangingSession open_ranging_session_sharded(
+    std::shared_ptr<WorkerPool> pool, std::shared_ptr<const SweepSource> source,
+    std::shared_ptr<const RangingPipeline> pipeline,
+    std::shared_ptr<const CalibrationTable> calibration,
+    const mathx::Rng& base_stream, std::size_t queue_depth,
+    const chronos::RetryPolicy& retry) {
   CHRONOS_EXPECTS(pool != nullptr, "a session needs a worker pool");
   CHRONOS_EXPECTS(source != nullptr && pipeline != nullptr &&
                       calibration != nullptr,
@@ -377,9 +411,9 @@ RangingSession open_ranging_session(
   CHRONOS_EXPECTS(retry.max_attempts >= 1, "max_attempts must be >= 1");
 
   auto state = std::make_shared<RangingSession::State>();
-  state->shared = std::make_shared<Shared>(
-      rng.fork(kBatchStreamTag), std::move(source), std::move(pipeline),
-      std::move(calibration), retry);
+  state->shared = std::make_shared<Shared>(base_stream, std::move(source),
+                                           std::move(pipeline),
+                                           std::move(calibration), retry);
   state->pool = std::move(pool);
   state->depth = queue_depth;
 

@@ -102,6 +102,19 @@ class RangingSession {
   std::optional<std::uint64_t> try_submit_resolved(
       const ResolvedRequest& request);
 
+  /// Sharded admission (the netd daemon's seam): like try_submit_resolved,
+  /// but the admitted ticket draws from base.split(stream_index) instead
+  /// of its own local ticket index. Several shard sessions opened with
+  /// open_ranging_session_sharded over ONE shared base stream can then
+  /// serve one GLOBAL ticket space: whichever shard a request lands on,
+  /// its result is the same pure function of (source, pipeline,
+  /// calibration, request, base.split(stream_index)) the in-process batch
+  /// computes for ticket stream_index — the property the daemon's
+  /// wire-determinism test pins. Returns the LOCAL ticket (what next()/
+  /// drain() order follows), or nullopt when the queue is full.
+  std::optional<std::uint64_t> try_submit_resolved_stream(
+      const ResolvedRequest& request, std::uint64_t stream_index);
+
   /// Claims the next ticket for a request that failed before admission
   /// (e.g. resolution failure inside a batch): its result is immediately
   /// complete, carrying `status`. Keeps batch results index-aligned with
@@ -130,6 +143,21 @@ class RangingSession {
       std::shared_ptr<const RangingPipeline> pipeline,
       std::shared_ptr<const CalibrationTable> calibration, mathx::Rng& rng,
       std::size_t queue_depth, const chronos::RetryPolicy& retry);
+  friend RangingSession open_ranging_session_sharded(
+      std::shared_ptr<WorkerPool> pool,
+      std::shared_ptr<const SweepSource> source,
+      std::shared_ptr<const RangingPipeline> pipeline,
+      std::shared_ptr<const CalibrationTable> calibration,
+      const mathx::Rng& base_stream, std::size_t queue_depth,
+      const chronos::RetryPolicy& retry);
+
+  /// Non-blocking ticket claim: the next local ticket, or nullopt when
+  /// in-flight work already fills the queue. Allocation-free.
+  std::optional<std::uint64_t> claim_ticket_if_room();
+  /// Enqueues one pool job ranging `request` on base.split(stream_index),
+  /// completing local `ticket`.
+  void enqueue_one(std::uint64_t ticket, std::uint64_t stream_index,
+                   const ResolvedRequest& request);
 
   struct State;
   std::shared_ptr<State> state_;
@@ -145,6 +173,21 @@ RangingSession open_ranging_session(
     std::shared_ptr<const RangingPipeline> pipeline,
     std::shared_ptr<const CalibrationTable> calibration, mathx::Rng& rng,
     std::size_t queue_depth, const chronos::RetryPolicy& retry = {});
+
+/// Shard-seam variant: ADOPTS an already-forked batch base stream instead
+/// of forking the caller's rng. The caller (the netd daemon) forks its rng
+/// exactly once — `rng.fork(kBatchStreamTag)`, the same single advancement
+/// every other ingestion path performs — and hands copies of that base to
+/// every shard session, so per-ticket streams are shared across shards and
+/// addressed globally via try_submit_resolved_stream. Plain submissions
+/// (try_submit/submit/submit_resolved*) still work on such a session and
+/// draw from base.split(local ticket).
+RangingSession open_ranging_session_sharded(
+    std::shared_ptr<WorkerPool> pool, std::shared_ptr<const SweepSource> source,
+    std::shared_ptr<const RangingPipeline> pipeline,
+    std::shared_ptr<const CalibrationTable> calibration,
+    const mathx::Rng& base_stream, std::size_t queue_depth,
+    const chronos::RetryPolicy& retry = {});
 
 /// Group size the ingestion adapters use when draining `n_requests`
 /// through multi-RHS solves on `threads` workers. Large groups amortise

@@ -62,6 +62,14 @@ enum class StatusCode : int {
   /// Every attempt allowed by the RetryPolicy failed with a retryable
   /// status; the message carries the last attempt's diagnostic.
   kRetryExhausted,
+  /// A wire frame failed structural validation (bad magic, oversize or
+  /// inconsistent length, unknown frame type, short body): the framing
+  /// layer cannot trust anything that follows on this connection.
+  kMalformedFrame,
+  /// A wire frame carries a protocol version this endpoint does not
+  /// speak; distinct from kMalformedFrame so clients can distinguish
+  /// "upgrade one side" from "corrupted stream".
+  kVersionMismatch,
 };
 
 /// Stable identifier for a code ("kQueueFull", ...), for logs and tests.
@@ -79,6 +87,8 @@ constexpr const char* to_string(StatusCode code) {
     case StatusCode::kInternal: return "kInternal";
     case StatusCode::kIntegrityViolation: return "kIntegrityViolation";
     case StatusCode::kRetryExhausted: return "kRetryExhausted";
+    case StatusCode::kMalformedFrame: return "kMalformedFrame";
+    case StatusCode::kVersionMismatch: return "kVersionMismatch";
   }
   return "<invalid StatusCode>";
 }
@@ -100,6 +110,8 @@ inline constexpr StatusCode kAllStatusCodes[] = {
     StatusCode::kInternal,
     StatusCode::kIntegrityViolation,
     StatusCode::kRetryExhausted,
+    StatusCode::kMalformedFrame,
+    StatusCode::kVersionMismatch,
 };
 
 /// Symmetric naming for the round-trip pair below (same string as

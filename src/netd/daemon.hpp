@@ -1,0 +1,178 @@
+// chronosd: the sharded ranging daemon frontend.
+//
+// One ChronosDaemon owns the backend directory (its SweepSource doubles as
+// the NodeRegistry) and N engine shards. A shard is a WorkerPool, its OWN
+// RangingPipeline instance (own solver plan handle and workspaces — one
+// hot shard cannot contend another's solve state), and one sharded
+// RangingSession. Requests route to shards by a splitmix64 hash of the
+// transmitter NodeId, so every request of a given transmitter serialises
+// through one shard's bounded queue while distinct transmitters spread
+// across pools.
+//
+// Determinism over the wire (the loopback e2e test pins this): the daemon
+// forks its rng ONCE at construction — rng.fork(kBatchStreamTag), the same
+// single advancement every in-process ingestion path performs — and hands
+// copies of that base stream to every shard session. Admission order on
+// the single demux thread assigns each admitted request a dense GLOBAL
+// ticket g, and the routed shard ranges it on base.split(g) via
+// try_submit_resolved_stream. Whatever the shard count, client count, or
+// kQueueFull retry interleaving, the results the daemon sends are
+// bit-identical to Engine::measure_batch(admitted_requests()) on the same
+// starting rng state.
+//
+// Backpressure: a request landing on a full shard queue is answered
+// immediately with a kQueueFull response (echoing its request_id) and
+// consumes NO global ticket — the client resubmits and the request is
+// simply admitted later, as if it had arrived later. Resolution failures
+// DO consume a ticket (push_failed), mirroring batch index alignment.
+//
+// Trust boundary: clients are untrusted by default — every shard pipeline
+// is built with IntegrityConfig::hostile() armed, so spoofed/corrupted
+// sweeps surface as per-request kIntegrityViolation instead of skewing
+// ranges (paper's adversary model; see core/integrity.hpp). Deployments
+// that own both ends can set DaemonOptions::trusted_clients.
+//
+// Thread model: attach() from any thread; serve() runs the single demux
+// loop (recv/parse/route/reply) until every attached connection has said
+// goodbye (or closed) and drained. serve() with no attachments returns
+// immediately — attach first, then serve.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "core/calibration.hpp"
+#include "core/ranging.hpp"
+#include "core/session.hpp"
+#include "core/sweep_source.hpp"
+#include "core/worker_pool.hpp"
+#include "mathx/annotations.hpp"
+#include "mathx/rng.hpp"
+#include "netd/loopback.hpp"
+#include "netd/wire.hpp"
+
+namespace chronos::netd {
+
+/// splitmix64 finalizer: the NodeId -> shard router. A dedicated mixer
+/// (rather than `value % shards`) because deployments commonly assign
+/// node ids sequentially — without mixing, ids 0..k-1 over k shards would
+/// alias whole deployments onto shard patterns that change with the shard
+/// count in trivially-correlated ways. The distribution-stability test
+/// pins these exact constants: changing them silently re-routes every
+/// deployment.
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+struct DaemonOptions {
+  std::size_t shards = 1;
+  /// Bounded queue depth of EACH shard session (kQueueFull beyond it).
+  std::size_t shard_queue_depth = 64;
+  /// Worker threads per shard (>= 1).
+  std::size_t shard_threads = 1;
+  /// Per-request retry budget, same semantics as BatchOptions::retry.
+  chronos::RetryPolicy retry{};
+  /// When false (default), every shard pipeline arms
+  /// IntegrityConfig::hostile() on top of the caller's RangingConfig.
+  bool trusted_clients = false;
+};
+
+/// Monotonic counters the demux loop maintains (read after serve()).
+struct DaemonStats {
+  std::uint64_t admitted = 0;            ///< global tickets issued
+  std::uint64_t failed_resolution = 0;   ///< admitted via push_failed
+  std::uint64_t queue_full_rejections = 0;
+  std::uint64_t malformed_frames = 0;    ///< connections poisoned
+  std::uint64_t hello_frames = 0;
+  std::uint64_t responses_sent = 0;
+};
+
+class ChronosDaemon {
+ public:
+  /// `source` is the backend (directory + sweeps); `config` the ranging
+  /// configuration every shard pipeline is built from (hostile integrity
+  /// is layered on unless trusted_clients); `calibration` is shared by
+  /// all shards. Forks `rng` exactly once.
+  ChronosDaemon(std::shared_ptr<const core::SweepSource> source,
+                const core::RangingConfig& config,
+                core::CalibrationTable calibration, mathx::Rng& rng,
+                const DaemonOptions& options = {});
+
+  ChronosDaemon(const ChronosDaemon&) = delete;
+  ChronosDaemon& operator=(const ChronosDaemon&) = delete;
+
+  /// Registers a client connection (the daemon-side endpoint). Callable
+  /// from any thread, but only before or during serve().
+  void attach(std::shared_ptr<Stream> connection);
+
+  /// Runs the demux loop until every attached connection is done (goodbye
+  /// or close) and every admitted request has been answered.
+  void serve();
+
+  std::size_t shards() const { return shards_.size(); }
+  std::size_t shard_of_node(chronos::NodeId id) const {
+    return shards_.size() <= 1
+               ? 0
+               : static_cast<std::size_t>(mix64(id.value) % shards_.size());
+  }
+
+  /// Every admitted request, in global-ticket order — the batch the run
+  /// is bit-equivalent to (the e2e test replays it through measure_batch).
+  const std::vector<chronos::RangingRequest>& admitted_requests() const {
+    return admitted_;
+  }
+  /// Global tickets admitted per shard (distribution diagnostics).
+  std::vector<std::size_t> shard_admitted() const;
+  const DaemonStats& stats() const { return stats_; }
+  /// The shard's private pipeline (tests pin per-shard isolation).
+  const core::RangingPipeline& shard_pipeline(std::size_t shard) const;
+
+ private:
+  struct Shard {
+    std::shared_ptr<core::WorkerPool> pool;
+    std::shared_ptr<const core::RangingPipeline> pipeline;
+    core::RangingSession session;
+    /// Wire metadata of in-flight local tickets, FIFO: local tickets are
+    /// dense and next() collects in local-ticket order, so front() is
+    /// always the metadata of the next result.
+    std::deque<std::pair<std::size_t, std::uint64_t>> pending;  // (conn, id)
+    std::size_t admitted = 0;
+  };
+
+  struct Connection {
+    std::shared_ptr<Stream> stream;
+    FrameParser parser;
+    std::size_t outstanding = 0;  ///< admitted, not yet answered
+    bool said_hello = false;
+    bool done_reading = false;  ///< goodbye seen or peer closed
+    bool dead = false;          ///< closed (normally or poisoned)
+  };
+
+  /// One step of the demux loop; returns whether any progress was made.
+  bool pump_connection(std::size_t conn_index);
+  bool pump_shards();
+  void handle_frame(std::size_t conn_index, const Frame& frame);
+  void send_frame(Connection& conn, const std::vector<std::uint8_t>& bytes);
+
+  std::shared_ptr<const core::SweepSource> source_;
+  std::shared_ptr<const core::CalibrationTable> calibration_;
+  std::vector<Shard> shards_;
+  std::uint64_t next_global_ticket_ = 0;
+  std::vector<chronos::RangingRequest> admitted_;
+  DaemonStats stats_;
+  std::vector<std::uint8_t> encode_buffer_;  ///< reused across frames
+
+  chronos::Mutex attach_mu_;
+  std::vector<std::shared_ptr<Connection>> pending_attach_
+      CHRONOS_GUARDED_BY(attach_mu_);
+  /// Demux-thread-owned once adopted from pending_attach_.
+  std::vector<std::shared_ptr<Connection>> connections_;
+};
+
+}  // namespace chronos::netd

@@ -1,0 +1,94 @@
+#include "netd/loopback.hpp"
+
+#include "mathx/annotations.hpp"
+
+namespace chronos::netd {
+namespace {
+
+// Shared state of one loopback pair: two directed byte queues under one
+// mutex (one lock per pair keeps the lock-order graph trivial — no
+// loopback lock is ever held while calling out of this file).
+struct Pipe {
+  chronos::Mutex mu;
+  chronos::CondVar cv;
+  std::vector<std::uint8_t> to_second CHRONOS_GUARDED_BY(mu);
+  std::vector<std::uint8_t> to_first CHRONOS_GUARDED_BY(mu);
+  bool first_closed CHRONOS_GUARDED_BY(mu) = false;
+  bool second_closed CHRONOS_GUARDED_BY(mu) = false;
+};
+
+class LoopbackEndpoint final : public Stream {
+ public:
+  LoopbackEndpoint(std::shared_ptr<Pipe> pipe, bool is_first)
+      : pipe_(std::move(pipe)), is_first_(is_first) {}
+
+  chronos::Status send(std::span<const std::uint8_t> bytes) override {
+    chronos::MutexLock lock(pipe_->mu);
+    if (pipe_->first_closed || pipe_->second_closed) {
+      return {chronos::StatusCode::kUnavailable, "loopback pipe closed"};
+    }
+    std::vector<std::uint8_t>& q =
+        is_first_ ? pipe_->to_second : pipe_->to_first;
+    q.insert(q.end(), bytes.begin(), bytes.end());
+    pipe_->cv.notify_all();
+    return chronos::Status::Ok();
+  }
+
+  chronos::Result<std::size_t> try_recv(
+      std::vector<std::uint8_t>& out) override {
+    chronos::MutexLock lock(pipe_->mu);
+    return take_locked(out);
+  }
+
+  chronos::Result<std::size_t> recv(std::vector<std::uint8_t>& out) override {
+    chronos::MutexLock lock(pipe_->mu);
+    pipe_->cv.wait(pipe_->mu, [this]() CHRONOS_REQUIRES(pipe_->mu) {
+      return !incoming_locked().empty() || pipe_->first_closed ||
+             pipe_->second_closed;
+    });
+    return take_locked(out);
+  }
+
+  void close() override {
+    chronos::MutexLock lock(pipe_->mu);
+    (is_first_ ? pipe_->first_closed : pipe_->second_closed) = true;
+    pipe_->cv.notify_all();
+  }
+
+  bool closed() const override {
+    chronos::MutexLock lock(pipe_->mu);
+    return (pipe_->first_closed || pipe_->second_closed) &&
+           incoming_locked().empty();
+  }
+
+ private:
+  std::vector<std::uint8_t>& incoming_locked() CHRONOS_REQUIRES(pipe_->mu) {
+    return is_first_ ? pipe_->to_first : pipe_->to_second;
+  }
+  const std::vector<std::uint8_t>& incoming_locked() const
+      CHRONOS_REQUIRES(pipe_->mu) {
+    return is_first_ ? pipe_->to_first : pipe_->to_second;
+  }
+
+  std::size_t take_locked(std::vector<std::uint8_t>& out)
+      CHRONOS_REQUIRES(pipe_->mu) {
+    std::vector<std::uint8_t>& q = incoming_locked();
+    const std::size_t n = q.size();
+    out.insert(out.end(), q.begin(), q.end());
+    q.clear();
+    return n;
+  }
+
+  std::shared_ptr<Pipe> pipe_;
+  const bool is_first_;
+};
+
+}  // namespace
+
+std::pair<std::shared_ptr<Stream>, std::shared_ptr<Stream>> make_loopback() {
+  auto pipe = std::make_shared<Pipe>();
+  return {std::make_shared<LoopbackEndpoint>(pipe, true),
+          std::make_shared<LoopbackEndpoint>(pipe, false)};
+}
+
+}  // namespace chronos::netd

@@ -1,0 +1,315 @@
+#include "netd/wire.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <iterator>
+
+namespace chronos::netd {
+namespace {
+
+// ------------------------------------------------------------ LE helpers
+//
+// Explicit byte (dis)assembly instead of memcpy-of-struct: the wire layout
+// is defined in bytes, not in terms of any host struct padding/endianness.
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xFFu));
+  out.push_back(static_cast<std::uint8_t>((v >> 8) & 0xFFu));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+void put_f64(std::vector<std::uint8_t>& out, double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u64(out, bits);
+}
+
+std::uint16_t get_u16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(static_cast<std::uint16_t>(p[0]) |
+                                    (static_cast<std::uint16_t>(p[1]) << 8));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+double get_f64(const std::uint8_t* p) {
+  const std::uint64_t bits = get_u64(p);
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+// Fixed payload sizes per frame type (response adds its message bytes).
+constexpr std::size_t kHelloAckBytes = 8;
+constexpr std::size_t kRequestBytes = 32;
+constexpr std::size_t kResponseFixedBytes = 60;
+
+void put_header(std::vector<std::uint8_t>& out, FrameType type,
+                std::size_t payload_bytes) {
+  put_u32(out, kWireMagic);
+  put_u16(out, kWireVersion);
+  put_u16(out, static_cast<std::uint16_t>(type));
+  put_u32(out, static_cast<std::uint32_t>(payload_bytes));
+  put_u32(out, 0);  // reserved
+}
+
+chronos::Status malformed(std::string why) {
+  return {chronos::StatusCode::kMalformedFrame, std::move(why)};
+}
+
+}  // namespace
+
+ResponseFrame ResponseFrame::of(std::uint64_t request_id,
+                                const core::RangingResult& result) {
+  ResponseFrame resp;
+  resp.request_id = request_id;
+  resp.code = result.status.code();
+  resp.message = result.status.message().substr(
+      0, std::min(result.status.message().size(), kMaxStatusMessageBytes));
+  resp.tof_s = result.tof_s;
+  resp.distance_m = result.distance_m;
+  resp.toa_s = result.toa_s;
+  resp.detection_delay_s = result.detection_delay_s;
+  resp.solver_iterations = static_cast<std::uint32_t>(result.solver_iterations);
+  resp.attempts = static_cast<std::uint32_t>(result.attempts);
+  resp.peak_found = result.peak_found;
+  return resp;
+}
+
+void encode_hello(std::vector<std::uint8_t>& out) {
+  put_header(out, FrameType::kHello, 0);
+}
+
+void encode_hello_ack(std::vector<std::uint8_t>& out,
+                      const HelloAckFrame& ack) {
+  put_header(out, FrameType::kHelloAck, kHelloAckBytes);
+  put_u16(out, ack.version);
+  put_u16(out, ack.shards);
+  put_u32(out, ack.queue_depth);
+}
+
+void encode_request(std::vector<std::uint8_t>& out, const RequestFrame& req) {
+  put_header(out, FrameType::kRequest, kRequestBytes);
+  put_u64(out, req.request_id);
+  put_u64(out, req.request.tx.node.value);
+  put_u64(out, req.request.rx.node.value);
+  put_u32(out, static_cast<std::uint32_t>(req.request.tx.antenna));
+  put_u32(out, static_cast<std::uint32_t>(req.request.rx.antenna));
+}
+
+void encode_response(std::vector<std::uint8_t>& out,
+                     const ResponseFrame& resp) {
+  const std::size_t msg_bytes =
+      std::min(resp.message.size(), kMaxStatusMessageBytes);
+  put_header(out, FrameType::kResponse, kResponseFixedBytes + msg_bytes);
+  put_u64(out, resp.request_id);
+  put_f64(out, resp.tof_s);
+  put_f64(out, resp.distance_m);
+  put_f64(out, resp.toa_s);
+  put_f64(out, resp.detection_delay_s);
+  put_u32(out, static_cast<std::uint32_t>(resp.code));
+  put_u32(out, resp.solver_iterations);
+  put_u32(out, resp.attempts);
+  out.push_back(resp.peak_found ? 1 : 0);
+  out.push_back(0);  // pad, must be zero
+  out.push_back(0);
+  out.push_back(0);
+  put_u32(out, static_cast<std::uint32_t>(msg_bytes));
+  out.insert(out.end(), resp.message.begin(), resp.message.begin() +
+                            static_cast<std::ptrdiff_t>(msg_bytes));
+}
+
+void encode_goodbye(std::vector<std::uint8_t>& out) {
+  put_header(out, FrameType::kGoodbye, 0);
+}
+
+DecodeOutcome decode_frame(std::span<const std::uint8_t> bytes) {
+  DecodeOutcome out;
+
+  // lint:region(no-alloc)  — header validation runs per received chunk
+  // on the daemon demux thread; keep it allocation-free until a frame is
+  // known to be well-formed.
+  if (bytes.size() < kFrameHeaderBytes) {
+    out.need_more = true;
+    return out;
+  }
+  const std::uint32_t magic = get_u32(bytes.data());
+  const std::uint16_t version = get_u16(bytes.data() + 4);
+  const std::uint16_t raw_type = get_u16(bytes.data() + 6);
+  const std::uint32_t length = get_u32(bytes.data() + 8);
+  const std::uint32_t reserved = get_u32(bytes.data() + 12);
+  const bool magic_ok = magic == kWireMagic;
+  const bool version_ok = version == kWireVersion;
+  const bool reserved_ok = reserved == 0;
+  const bool length_ok = length <= kMaxPayloadBytes;
+  const bool type_ok =
+      raw_type >= static_cast<std::uint16_t>(FrameType::kHello) &&
+      raw_type <= static_cast<std::uint16_t>(FrameType::kGoodbye);
+  // lint:endregion(no-alloc)
+
+  if (!magic_ok) {
+    out.status = malformed("bad magic");
+    return out;
+  }
+  if (!version_ok) {
+    out.status = {chronos::StatusCode::kVersionMismatch,
+                  "frame version " + std::to_string(version) +
+                      ", this endpoint speaks " +
+                      std::to_string(kWireVersion)};
+    return out;
+  }
+  if (!reserved_ok) {
+    out.status = malformed("nonzero reserved header field");
+    return out;
+  }
+  if (!length_ok) {
+    out.status = malformed("payload length " + std::to_string(length) +
+                           " exceeds cap " +
+                           std::to_string(kMaxPayloadBytes));
+    return out;
+  }
+  if (!type_ok) {
+    out.status = malformed("unknown frame type " + std::to_string(raw_type));
+    return out;
+  }
+  if (bytes.size() < kFrameHeaderBytes + length) {
+    out.need_more = true;
+    return out;
+  }
+
+  const FrameType type = static_cast<FrameType>(raw_type);
+  const std::uint8_t* p = bytes.data() + kFrameHeaderBytes;
+  out.frame.type = type;
+
+  switch (type) {
+    case FrameType::kHello:
+    case FrameType::kGoodbye:
+      if (length != 0) {
+        out.status = malformed("nonempty payload on a payload-free frame");
+        return out;
+      }
+      break;
+
+    case FrameType::kHelloAck: {
+      if (length != kHelloAckBytes) {
+        out.status = malformed("hello-ack payload must be " +
+                               std::to_string(kHelloAckBytes) + " bytes, got " +
+                               std::to_string(length));
+        return out;
+      }
+      out.frame.hello_ack.version = get_u16(p);
+      out.frame.hello_ack.shards = get_u16(p + 2);
+      out.frame.hello_ack.queue_depth = get_u32(p + 4);
+      break;
+    }
+
+    case FrameType::kRequest: {
+      if (length != kRequestBytes) {
+        out.status = malformed("request payload must be " +
+                               std::to_string(kRequestBytes) + " bytes, got " +
+                               std::to_string(length));
+        return out;
+      }
+      out.frame.request.request_id = get_u64(p);
+      out.frame.request.request.tx.node.value = get_u64(p + 8);
+      out.frame.request.request.rx.node.value = get_u64(p + 16);
+      out.frame.request.request.tx.antenna = get_u32(p + 24);
+      out.frame.request.request.rx.antenna = get_u32(p + 28);
+      break;
+    }
+
+    case FrameType::kResponse: {
+      if (length < kResponseFixedBytes) {
+        out.status = malformed("response payload shorter than its fixed " +
+                               std::to_string(kResponseFixedBytes) + " bytes");
+        return out;
+      }
+      ResponseFrame& r = out.frame.response;
+      r.request_id = get_u64(p);
+      r.tof_s = get_f64(p + 8);
+      r.distance_m = get_f64(p + 16);
+      r.toa_s = get_f64(p + 24);
+      r.detection_delay_s = get_f64(p + 32);
+      const std::uint32_t raw_code = get_u32(p + 40);
+      if (raw_code >= std::size(chronos::kAllStatusCodes)) {
+        out.status = malformed("unknown status code " +
+                               std::to_string(raw_code));
+        return out;
+      }
+      r.code = static_cast<chronos::StatusCode>(raw_code);
+      r.solver_iterations = get_u32(p + 44);
+      r.attempts = get_u32(p + 48);
+      const std::uint8_t peak = p[52];
+      if (peak > 1 || p[53] != 0 || p[54] != 0 || p[55] != 0) {
+        out.status = malformed("bad peak/pad bytes in response");
+        return out;
+      }
+      r.peak_found = peak == 1;
+      const std::uint32_t msg_len = get_u32(p + 56);
+      if (msg_len != length - kResponseFixedBytes ||
+          msg_len > kMaxStatusMessageBytes) {
+        out.status = malformed("response message length disagrees with frame");
+        return out;
+      }
+      r.message.assign(reinterpret_cast<const char*>(p + 60), msg_len);
+      break;
+    }
+  }
+
+  out.has_frame = true;
+  out.consumed = kFrameHeaderBytes + length;
+  return out;
+}
+
+void FrameParser::feed(std::span<const std::uint8_t> bytes) {
+  if (poisoned_) return;  // framing already lost; don't grow the buffer
+  // Compact before growing: consumed frames at the front are dead weight.
+  if (consumed_ > 0 && consumed_ == buffer_.size()) {
+    buffer_.clear();
+    consumed_ = 0;
+  } else if (consumed_ > kMaxPayloadBytes) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+}
+
+FrameParser::Poll FrameParser::poll(Frame& out) {
+  if (poisoned_) return Poll::kError;
+  const std::span<const std::uint8_t> rest{buffer_.data() + consumed_,
+                                           buffer_.size() - consumed_};
+  DecodeOutcome outcome = decode_frame(rest);
+  if (outcome.has_frame) {
+    consumed_ += outcome.consumed;
+    out = std::move(outcome.frame);
+    return Poll::kFrame;
+  }
+  if (outcome.need_more) return Poll::kNeedMore;
+  poisoned_ = true;
+  error_ = std::move(outcome.status);
+  return Poll::kError;
+}
+
+}  // namespace chronos::netd

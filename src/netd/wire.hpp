@@ -1,0 +1,165 @@
+// The chronosd binary wire protocol: compact length-prefixed frames.
+//
+// Every message on a daemon connection is one frame:
+//
+//   offset  size  field     rule
+//   ------  ----  --------  ------------------------------------------
+//        0     4  magic     0x4E524843 ("CHRN" little-endian on the wire)
+//        4     2  version   kWireVersion; anything else -> kVersionMismatch
+//        6     2  type      FrameType; unknown -> kMalformedFrame
+//        8     4  length    payload bytes, <= kMaxPayloadBytes
+//       12     4  reserved  must be zero
+//       16   len  payload   fixed little-endian layout per FrameType
+//
+// All integers and IEEE-754 doubles are little-endian; doubles cross the
+// wire as their exact bit patterns, so the daemon's determinism contract
+// (ticket i == split stream i) survives encode/decode bit-for-bit.
+//
+// Parser contract (the fuzz harness pins this): for ANY byte sequence,
+// decode_frame / FrameParser never throw and never read out of bounds —
+// a malformed frame is reported as a typed chronos::Status
+// (kMalformedFrame for structural damage, kVersionMismatch for a version
+// this endpoint does not speak), and a valid-so-far prefix is reported as
+// "need more bytes", never as an error. Framing is not recoverable: after
+// one malformed frame the stream offset is meaningless, so FrameParser
+// poisons itself and the daemon closes the connection.
+//
+// Encoding is zero-allocation-friendly: encoders append to a caller-owned
+// byte buffer (reuse it across frames to amortise), decoders write into
+// caller-owned Frame storage; the only per-frame heap traffic is the
+// capped status-message string of a response.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/api.hpp"
+#include "core/ranging.hpp"
+#include "mathx/status.hpp"
+
+namespace chronos::netd {
+
+inline constexpr std::uint32_t kWireMagic = 0x4E524843u;  // "CHRN"
+inline constexpr std::uint16_t kWireVersion = 1;
+inline constexpr std::size_t kFrameHeaderBytes = 16;
+/// Hard payload cap: the largest legal payload today is a response at
+/// 60 + kMaxStatusMessageBytes bytes; the cap leaves headroom for future
+/// frame types while keeping a hostile length field from forcing a large
+/// allocation.
+inline constexpr std::size_t kMaxPayloadBytes = 4096;
+/// Status messages are diagnostics, not identity (Status::operator==
+/// compares codes only), so the wire truncates them rather than growing
+/// frames without bound.
+inline constexpr std::size_t kMaxStatusMessageBytes = 256;
+
+enum class FrameType : std::uint16_t {
+  kHello = 1,     ///< client -> daemon, empty payload
+  kHelloAck = 2,  ///< daemon -> client: 8-byte deployment summary
+  kRequest = 3,   ///< client -> daemon: 32-byte ranging request
+  kResponse = 4,  ///< daemon -> client: 60+msg-byte ranging response
+  kGoodbye = 5,   ///< client -> daemon, empty payload: drain and close
+};
+
+/// kHelloAck payload (8 bytes): version echoed, shard count, per-shard
+/// queue depth — what a client needs to size its pipelining.
+struct HelloAckFrame {
+  std::uint16_t version = kWireVersion;
+  std::uint16_t shards = 1;
+  std::uint32_t queue_depth = 0;
+};
+
+/// kRequest payload (32 bytes): the client-chosen request id echoed by
+/// every response to this request (including kQueueFull rejections), plus
+/// the id-based public ranging request.
+struct RequestFrame {
+  std::uint64_t request_id = 0;
+  chronos::RangingRequest request;
+};
+
+/// kResponse payload (60 bytes + message): the wire summary of one
+/// core::RangingResult. Profile and candidate diagnostics stay
+/// daemon-side; everything a ranging client acts on — status, ToF,
+/// distance, ToA, attempts — crosses the wire bit-exactly.
+struct ResponseFrame {
+  std::uint64_t request_id = 0;
+  chronos::StatusCode code = chronos::StatusCode::kOk;
+  std::string message;  ///< truncated to kMaxStatusMessageBytes
+  double tof_s = 0.0;
+  double distance_m = 0.0;
+  double toa_s = 0.0;
+  double detection_delay_s = 0.0;
+  std::uint32_t solver_iterations = 0;
+  std::uint32_t attempts = 1;
+  bool peak_found = false;
+
+  /// The response `result` maps to (message truncated to the wire cap).
+  static ResponseFrame of(std::uint64_t request_id,
+                          const core::RangingResult& result);
+};
+
+/// One decoded frame: `type` selects which member carries the payload
+/// (kHello / kGoodbye have none).
+struct Frame {
+  FrameType type = FrameType::kHello;
+  HelloAckFrame hello_ack;
+  RequestFrame request;
+  ResponseFrame response;
+};
+
+// ---------------------------------------------------------------- encode
+
+void encode_hello(std::vector<std::uint8_t>& out);
+void encode_hello_ack(std::vector<std::uint8_t>& out,
+                      const HelloAckFrame& ack);
+void encode_request(std::vector<std::uint8_t>& out, const RequestFrame& req);
+void encode_response(std::vector<std::uint8_t>& out,
+                     const ResponseFrame& resp);
+void encode_goodbye(std::vector<std::uint8_t>& out);
+
+// ---------------------------------------------------------------- decode
+
+/// Outcome of a single-shot decode attempt at the front of `bytes`.
+/// Exactly one of three shapes:
+///   * has_frame: one complete frame decoded, `consumed` bytes eaten;
+///   * need_more: `bytes` is a valid prefix of a frame, nothing consumed;
+///   * !status.ok(): the front of `bytes` can never become a valid frame
+///     (kMalformedFrame / kVersionMismatch names why).
+struct DecodeOutcome {
+  chronos::Status status;
+  bool need_more = false;
+  bool has_frame = false;
+  std::size_t consumed = 0;
+  Frame frame;
+};
+
+/// Decodes the frame starting at bytes[0]. Never throws; never reads past
+/// bytes.size().
+DecodeOutcome decode_frame(std::span<const std::uint8_t> bytes);
+
+/// Incremental decoder over a byte stream: feed() arbitrary chunks, poll()
+/// complete frames. After the first malformed frame the parser is
+/// poisoned: every later poll() reports kError with the original status
+/// (stream framing is unrecoverable once lost).
+class FrameParser {
+ public:
+  enum class Poll { kFrame, kNeedMore, kError };
+
+  void feed(std::span<const std::uint8_t> bytes);
+  Poll poll(Frame& out);
+
+  /// The poisoning status (meaningful once poll() returned kError).
+  const chronos::Status& error() const { return error_; }
+  /// Bytes fed but not yet consumed by a decoded frame.
+  std::size_t buffered() const { return buffer_.size() - consumed_; }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+  std::size_t consumed_ = 0;
+  chronos::Status error_;
+  bool poisoned_ = false;
+};
+
+}  // namespace chronos::netd

@@ -1,0 +1,215 @@
+// Fuzz harness for the chronosd wire-frame parser (netd/wire.hpp) — the
+// daemon's untrusted input boundary: every byte of a frame can come from
+// an arbitrary network peer.
+//
+// Contract under fuzzing: for ANY byte sequence,
+//   * decode_frame never throws, never reads out of bounds, and reports
+//     exactly one of {frame, need_more, typed error Status}; a decoded
+//     frame always consumes at least a header's worth of bytes (progress
+//     guarantee — a parser that consumes nothing loops forever);
+//   * the incremental FrameParser, fed the same bytes in arbitrary
+//     chunks, produces the SAME frame sequence and the SAME terminal
+//     state (clean end / need-more vs poisoned with the same status code)
+//     as repeated single-shot decode_frame over the whole buffer.
+// Crashes, hangs, sanitizer reports, escaping exceptions, or any
+// incremental/single-shot disagreement are findings.
+//
+// Two build flavors (tests/fuzz/CMakeLists.txt picks automatically):
+// libFuzzer under Clang, the standalone corpus+mutation driver elsewhere
+// (same dual-driver idiom as fuzz_read_sweep).
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "netd/wire.hpp"
+
+namespace {
+
+struct ParseTrace {
+  std::vector<chronos::netd::FrameType> frames;
+  /// Terminal state: nullopt = ended clean or needing more bytes;
+  /// otherwise the poisoning status code.
+  std::optional<chronos::StatusCode> error;
+};
+
+ParseTrace reference_trace(std::span<const std::uint8_t> bytes) {
+  ParseTrace trace;
+  std::size_t at = 0;
+  for (;;) {
+    const auto out =
+        chronos::netd::decode_frame(bytes.subspan(at));
+    if (out.has_frame) {
+      // Progress guarantee: a frame is never free.
+      if (out.consumed < chronos::netd::kFrameHeaderBytes) std::abort();
+      if (out.consumed > bytes.size() - at) std::abort();
+      trace.frames.push_back(out.frame.type);
+      at += out.consumed;
+      continue;
+    }
+    if (out.need_more) {
+      if (!out.status.ok()) std::abort();  // exactly one outcome shape
+      return trace;
+    }
+    if (out.status.ok()) std::abort();  // no frame, no need_more => error
+    trace.error = out.status.code();
+    return trace;
+  }
+}
+
+ParseTrace incremental_trace(std::span<const std::uint8_t> bytes,
+                             std::size_t chunk) {
+  ParseTrace trace;
+  chronos::netd::FrameParser parser;
+  chronos::netd::Frame frame;
+  for (std::size_t at = 0; at < bytes.size(); at += chunk) {
+    const std::size_t n = std::min(chunk, bytes.size() - at);
+    parser.feed(bytes.subspan(at, n));
+    for (;;) {
+      const auto poll = parser.poll(frame);
+      if (poll == chronos::netd::FrameParser::Poll::kFrame) {
+        trace.frames.push_back(frame.type);
+        continue;
+      }
+      if (poll == chronos::netd::FrameParser::Poll::kError) {
+        trace.error = parser.error().code();
+      }
+      break;
+    }
+    if (trace.error.has_value()) break;  // poisoned: later bytes are moot
+  }
+  if (bytes.empty()) {
+    // Still poll once so the empty input exercises the parser.
+    (void)parser.poll(frame);
+  }
+  return trace;
+}
+
+void expect_same(const ParseTrace& a, const ParseTrace& b) {
+  if (a.error != b.error) std::abort();
+  if (a.frames.size() != b.frames.size()) std::abort();
+  for (std::size_t i = 0; i < a.frames.size(); ++i) {
+    if (a.frames[i] != b.frames[i]) std::abort();
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::span<const std::uint8_t> bytes(data, size);
+  const ParseTrace reference = reference_trace(bytes);
+  // Several chunkings, including the pathological 1-byte feed: the frame
+  // sequence and terminal state must be chunking-invariant.
+  for (const std::size_t chunk : {std::size_t{1}, std::size_t{7},
+                                  size > 0 ? size : std::size_t{1}}) {
+    expect_same(reference, incremental_trace(bytes, chunk));
+  }
+  return 0;
+}
+
+#ifdef CHRONOS_FUZZ_STANDALONE
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace {
+
+std::uint64_t mix(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+void run_input(const std::string& bytes) {
+  (void)LLVMFuzzerTestOneInput(
+      reinterpret_cast<const std::uint8_t*>(bytes.data()), bytes.size());
+}
+
+/// Replays `seed` plus bounded deterministic mutations: byte flips,
+/// truncations, slice duplication (frame boundary torture), and header-
+/// field perturbation — the binary-framing stressors.
+void fuzz_one_seed(const std::string& seed, int mutants,
+                   std::uint64_t rng_state) {
+  run_input(seed);
+  for (int m = 0; m < mutants; ++m) {
+    std::string mutated = seed;
+    switch (mix(rng_state) % 4) {
+      case 0: {  // flip a byte
+        if (mutated.empty()) break;
+        const std::size_t at = mix(rng_state) % mutated.size();
+        mutated[at] = static_cast<char>(mix(rng_state) & 0xFF);
+        break;
+      }
+      case 1: {  // truncate (partial frame on the wire)
+        mutated.resize(mutated.empty() ? 0 : mix(rng_state) % mutated.size());
+        break;
+      }
+      case 2: {  // duplicate a slice (repeated / overlapping frames)
+        if (mutated.empty()) break;
+        const std::size_t from = mix(rng_state) % mutated.size();
+        const std::size_t len = 1 + mix(rng_state) % (mutated.size() - from);
+        mutated += mutated.substr(from, len);
+        break;
+      }
+      default: {  // perturb an early byte (header fields live there)
+        if (mutated.size() < 16) break;
+        const std::size_t at = mix(rng_state) % 16;
+        mutated[at] = static_cast<char>(mutated[at] ^
+                                        (1u << (mix(rng_state) % 8)));
+        break;
+      }
+    }
+    run_input(mutated);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int mutants = 256;
+  // Single-threaded driver startup; nothing concurrent reads the env.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
+  if (const char* env = std::getenv("CHRONOS_FUZZ_MUTANTS")) {
+    mutants = std::atoi(env);
+  }
+
+  std::vector<std::filesystem::path> inputs;
+  for (int a = 1; a < argc; ++a) {
+    const std::filesystem::path p(argv[a]);
+    if (std::filesystem::is_directory(p)) {
+      for (const auto& entry : std::filesystem::directory_iterator(p)) {
+        if (entry.is_regular_file()) inputs.push_back(entry.path());
+      }
+    } else if (std::filesystem::is_regular_file(p)) {
+      inputs.push_back(p);
+    }
+  }
+  if (inputs.empty()) {
+    std::fprintf(stderr, "usage: fuzz_wire_frame <corpus dir or files>...\n");
+    return 2;
+  }
+
+  std::uint64_t executions = 0;
+  for (const auto& path : inputs) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    fuzz_one_seed(buf.str(), mutants, 0x31BEF00Dull ^ executions);
+    executions += static_cast<std::uint64_t>(mutants) + 1;
+  }
+  std::printf("fuzz_wire_frame: %llu inputs executed over %zu seeds, "
+              "no contract violation\n",
+              static_cast<unsigned long long>(executions), inputs.size());
+  return 0;
+}
+
+#endif  // CHRONOS_FUZZ_STANDALONE

@@ -1,0 +1,13 @@
+// Negative fixture for scripts/lint/check_layering.py: netd (the chronosd
+// serving layer) sits ABOVE core, so core may never include from it —
+// otherwise the daemon's wire types would leak into the engine and the
+// layering that keeps chronos_core deployable without the daemon would
+// silently erode. Planted when the netd layer was added, proving the new
+// DAG edge actually bites (lint_layering_fixture is WILL_FAIL).
+#pragma once
+
+#include "netd/wire.hpp"  // illegal: core -> netd is an upward edge
+
+namespace chronos::core {
+inline int bad_netd_upward() { return 0; }
+}  // namespace chronos::core

@@ -1,0 +1,352 @@
+// chronosd end-to-end over the loopback transport: the determinism
+// contract must survive the wire. A multi-client run against the sharded
+// daemon — at shard counts 1, 2, and 4, with queue depths small enough to
+// force kQueueFull wire retries — must produce replies bit-identical to
+// the equivalent in-process measure_batch over the daemon's admitted-
+// request log on the same seed (ticket i == split stream i, whatever
+// shard computed it).
+//
+// Also pinned here: the NodeId->shard router (exact mix64 values and
+// distribution — changing the constants silently re-routes every
+// deployment), per-shard pipeline isolation, and connection poisoning on
+// malformed frames.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "netd/client.hpp"
+#include "netd/daemon.hpp"
+#include "netd/loopback.hpp"
+#include "sim/environment.hpp"
+#include "sim/radio.hpp"
+
+namespace chronos::netd {
+namespace {
+
+/// Reduced sweep plan (every 5th US band, one exchange): cheap sweeps;
+/// nothing the daemon layer does depends on the plan.
+core::EngineConfig fast_config() {
+  core::EngineConfig ec;
+  const auto& plan = phy::us_band_plan();
+  for (std::size_t i = 0; i < plan.size(); i += 5) {
+    ec.link.bands.push_back(plan[i]);
+  }
+  ec.link.exchanges_per_band = 1;
+  return ec;
+}
+
+/// A calibrated sim backend with `n_pairs` registered device pairs spread
+/// over the office floor, plus the reference engine sharing it.
+struct Fixture {
+  std::shared_ptr<core::SimSweepSource> source;
+  std::unique_ptr<core::ChronosEngine> engine;
+  std::vector<chronos::RangingRequest> requests;
+};
+
+Fixture make_fixture(std::size_t n_pairs, bool hostile) {
+  Fixture f;
+  core::EngineConfig ec = fast_config();
+  if (hostile) ec.ranging.integrity = core::IntegrityConfig::hostile();
+  f.source =
+      std::make_shared<core::SimSweepSource>(sim::office_20x20(), ec.link);
+  f.engine = std::make_unique<core::ChronosEngine>(f.source, ec);
+  mathx::Rng cal_rng(99);
+  f.source->add_node(chronos::NodeId{9001},
+                     sim::make_mobile({0.0, 0.0}, 11));
+  f.source->add_node(chronos::NodeId{9002},
+                     sim::make_mobile({1.0, 0.0}, 22));
+  EXPECT_TRUE(
+      f.engine->calibrate(chronos::NodeId{9001}, chronos::NodeId{9002},
+                          cal_rng)
+          .ok());
+  for (std::size_t i = 0; i < n_pairs; ++i) {
+    const double x = 2.0 + 1.5 * static_cast<double>(i % 8);
+    const double y = 3.0 + 2.0 * static_cast<double>(i / 8);
+    const chronos::NodeId tx{100 + i}, rx{500 + i};
+    f.source->add_node(tx, sim::make_mobile({x, y}, 11));
+    f.source->add_node(rx, sim::make_mobile({x + 2.0, y + 1.0}, 22));
+    f.requests.push_back({{tx, 0}, {rx, 0}});
+  }
+  return f;
+}
+
+void expect_reply_matches(const RangingReply& got, const RangingReply& want) {
+  EXPECT_EQ(got.status.code(), want.status.code());
+  EXPECT_EQ(got.attempts, want.attempts);
+  EXPECT_EQ(got.peak_found, want.peak_found);
+  EXPECT_EQ(got.solver_iterations, want.solver_iterations);
+  EXPECT_EQ(std::memcmp(&got.tof_s, &want.tof_s, sizeof(double)), 0);
+  EXPECT_EQ(std::memcmp(&got.distance_m, &want.distance_m, sizeof(double)),
+            0);
+  EXPECT_EQ(std::memcmp(&got.toa_s, &want.toa_s, sizeof(double)), 0);
+  EXPECT_EQ(std::memcmp(&got.detection_delay_s, &want.detection_delay_s,
+                        sizeof(double)),
+            0);
+}
+
+// ---------------------------------------------------------------------------
+// The tentpole: wire bit-identity under shard counts {1, 2, 4}
+// ---------------------------------------------------------------------------
+
+void run_bit_identity(std::size_t shards, std::size_t depth,
+                      std::size_t clients, std::size_t per_client) {
+  SCOPED_TRACE("shards=" + std::to_string(shards) +
+               " depth=" + std::to_string(depth));
+  Fixture f = make_fixture(clients * per_client, /*hostile=*/true);
+
+  DaemonOptions opt;
+  opt.shards = shards;
+  opt.shard_queue_depth = depth;
+  opt.shard_threads = 1;
+  constexpr std::uint64_t kSeed = 1234;
+  mathx::Rng daemon_rng(kSeed);
+  ChronosDaemon daemon(f.source, fast_config().ranging, f.engine->calibration(),
+                       daemon_rng, opt);
+  ASSERT_EQ(daemon.shards(), shards);
+
+  std::vector<std::shared_ptr<Stream>> ends;
+  for (std::size_t c = 0; c < clients; ++c) {
+    auto [client_end, daemon_end] = make_loopback();
+    daemon.attach(daemon_end);
+    ends.push_back(client_end);
+  }
+
+  std::vector<std::vector<RangingReply>> replies(clients);
+  std::vector<std::uint64_t> retries(clients, 0);
+  std::vector<std::thread> threads;
+  for (std::size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c]() {
+      ChronosClient client(ends[c]);
+      ASSERT_TRUE(client.connect().ok());
+      EXPECT_EQ(client.server_shards(), shards);
+      EXPECT_EQ(client.server_queue_depth(), depth);
+      for (std::size_t i = 0; i < per_client; ++i) {
+        ASSERT_TRUE(client.submit(f.requests[c * per_client + i]).ok());
+      }
+      replies[c] = client.drain();
+      retries[c] = client.total_wire_retries();
+      EXPECT_TRUE(client.close().ok());
+    });
+  }
+  daemon.serve();
+  for (auto& t : threads) t.join();
+
+  // Every submission was eventually admitted and answered.
+  const auto& admitted = daemon.admitted_requests();
+  ASSERT_EQ(admitted.size(), clients * per_client);
+  ASSERT_EQ(daemon.stats().admitted, clients * per_client);
+
+  // The equivalence target: the in-process batch over the admitted log on
+  // the daemon's seed (same single rng fork, same split streams).
+  mathx::Rng batch_rng(kSeed);
+  const auto batch = f.engine->measure_batch(admitted, batch_rng, {});
+
+  std::size_t checked = 0;
+  for (std::size_t c = 0; c < clients; ++c) {
+    ASSERT_EQ(replies[c].size(), per_client);
+    for (std::size_t i = 0; i < per_client; ++i) {
+      const chronos::RangingRequest& request = f.requests[c * per_client + i];
+      std::size_t slot = admitted.size();
+      for (std::size_t g = 0; g < admitted.size(); ++g) {
+        if (admitted[g] == request) slot = g;
+      }
+      ASSERT_LT(slot, admitted.size());
+      expect_reply_matches(replies[c][i], reply_of(batch.results[slot]));
+      ++checked;
+    }
+  }
+  EXPECT_EQ(checked, clients * per_client);
+
+  // With a single shard of depth 1 and whole plans submitted up front,
+  // backpressure is unavoidable — prove the retry path actually ran.
+  if (shards == 1 && depth == 1 && clients * per_client > 1) {
+    EXPECT_GT(daemon.stats().queue_full_rejections, 0u);
+    std::uint64_t total_retries = 0;
+    for (const std::uint64_t r : retries) total_retries += r;
+    EXPECT_GT(total_retries, 0u);
+  }
+}
+
+TEST(ChronosDaemon, WireBitIdentityOneShard) {
+  run_bit_identity(/*shards=*/1, /*depth=*/1, /*clients=*/2,
+                   /*per_client=*/3);
+}
+
+TEST(ChronosDaemon, WireBitIdentityTwoShards) {
+  run_bit_identity(/*shards=*/2, /*depth=*/2, /*clients=*/3,
+                   /*per_client=*/2);
+}
+
+TEST(ChronosDaemon, WireBitIdentityFourShards) {
+  run_bit_identity(/*shards=*/4, /*depth=*/1, /*clients=*/2,
+                   /*per_client=*/4);
+}
+
+// ---------------------------------------------------------------------------
+// Shard routing
+// ---------------------------------------------------------------------------
+
+TEST(ShardRouting, Mix64ConstantsArePinned) {
+  // Changing the mixer silently re-routes every deployment; these exact
+  // values pin it (computed independently from the splitmix64 spec).
+  EXPECT_EQ(mix64(0), 0xE220A8397B1DCDAFull);
+  EXPECT_EQ(mix64(1), 0x910A2DEC89025CC1ull);
+  EXPECT_EQ(mix64(42), 0xBDD732262FEB6E95ull);
+  EXPECT_EQ(mix64(9001), 0x460776B3D8680A09ull);
+  EXPECT_EQ(mix64(0xFFFFFFFFFFFFFFFFull), 0xE4D971771B652C20ull);
+}
+
+TEST(ShardRouting, SequentialIdsSpreadAcrossShards) {
+  // Sequential node ids (the common deployment pattern) must spread close
+  // to uniformly: over 1024 ids on 4 shards, every shard stays within
+  // ~25% of the ideal 256 (the pinned mixer makes this deterministic).
+  constexpr std::size_t kShards = 4;
+  std::size_t counts[kShards] = {0, 0, 0, 0};
+  for (std::uint64_t id = 0; id < 1024; ++id) {
+    const std::size_t s =
+        static_cast<std::size_t>(mix64(id) % kShards);
+    ASSERT_LT(s, kShards);
+    ++counts[s];
+  }
+  for (const std::size_t count : counts) {
+    EXPECT_GT(count, 192u);
+    EXPECT_LT(count, 320u);
+  }
+  // And the exact assignment is stable across releases.
+  EXPECT_EQ(counts[0], 267u);
+  EXPECT_EQ(counts[1], 247u);
+  EXPECT_EQ(counts[2], 249u);
+  EXPECT_EQ(counts[3], 261u);
+}
+
+TEST(ShardRouting, DaemonRoutesByTransmitterHash) {
+  Fixture f = make_fixture(4, /*hostile=*/false);
+  DaemonOptions opt;
+  opt.shards = 4;
+  mathx::Rng rng(1);
+  ChronosDaemon daemon(f.source, fast_config().ranging,
+                       f.engine->calibration(), rng, opt);
+  for (std::uint64_t id : {0ull, 1ull, 42ull, 9001ull}) {
+    EXPECT_EQ(daemon.shard_of_node(chronos::NodeId{id}),
+              static_cast<std::size_t>(mix64(id) % 4));
+  }
+  // One shard collapses the router to the identity.
+  DaemonOptions one;
+  mathx::Rng rng1(1);
+  ChronosDaemon single(f.source, fast_config().ranging,
+                       f.engine->calibration(), rng1, one);
+  EXPECT_EQ(single.shard_of_node(chronos::NodeId{9001}), 0u);
+}
+
+TEST(ShardRouting, ShardsOwnPrivatePipelines) {
+  // Per-shard plan/workspace isolation: every shard must own a DISTINCT
+  // pipeline instance (one hot shard cannot contend another's solver
+  // state). The underlying immutable NDFT plan may be shared by the
+  // process-wide cache; the pipeline objects may not.
+  Fixture f = make_fixture(2, /*hostile=*/false);
+  DaemonOptions opt;
+  opt.shards = 3;
+  mathx::Rng rng(1);
+  ChronosDaemon daemon(f.source, fast_config().ranging,
+                       f.engine->calibration(), rng, opt);
+  EXPECT_NE(&daemon.shard_pipeline(0), &daemon.shard_pipeline(1));
+  EXPECT_NE(&daemon.shard_pipeline(1), &daemon.shard_pipeline(2));
+  EXPECT_NE(&daemon.shard_pipeline(0), &daemon.shard_pipeline(2));
+}
+
+// ---------------------------------------------------------------------------
+// Failure handling on the wire
+// ---------------------------------------------------------------------------
+
+TEST(ChronosDaemon, MalformedFramePoisonsOnlyThatConnection) {
+  Fixture f = make_fixture(2, /*hostile=*/false);
+  DaemonOptions opt;
+  opt.trusted_clients = true;  // match the fixture engine's config exactly
+  mathx::Rng rng(7);
+  ChronosDaemon daemon(f.source, fast_config().ranging,
+                       f.engine->calibration(), rng, opt);
+
+  auto [attacker_end, attacker_daemon_end] = make_loopback();
+  auto [client_end, client_daemon_end] = make_loopback();
+  daemon.attach(attacker_daemon_end);
+  daemon.attach(client_daemon_end);
+
+  std::thread attacker([end = attacker_end]() {
+    // 32 bytes of garbage: framing damage, not a valid prefix.
+    const std::vector<std::uint8_t> garbage(32, 0xAB);
+    (void)end->send(garbage);
+    end->close();
+  });
+  std::vector<RangingReply> replies;
+  std::thread client([&, end = client_end]() {
+    ChronosClient c(end);
+    ASSERT_TRUE(c.connect().ok());
+    ASSERT_TRUE(c.submit(f.requests[0]).ok());
+    ASSERT_TRUE(c.submit(f.requests[1]).ok());
+    replies = c.drain();
+    EXPECT_TRUE(c.close().ok());
+  });
+  daemon.serve();
+  attacker.join();
+  client.join();
+
+  // The attacker's connection was poisoned and closed; the well-behaved
+  // client was served normally.
+  EXPECT_EQ(daemon.stats().malformed_frames, 1u);
+  ASSERT_EQ(replies.size(), 2u);
+  EXPECT_TRUE(replies[0].status.ok());
+  EXPECT_TRUE(replies[1].status.ok());
+  EXPECT_TRUE(attacker_end->closed());
+}
+
+TEST(ChronosDaemon, ResolutionFailuresConsumeTicketsLikeABatch) {
+  Fixture f = make_fixture(2, /*hostile=*/false);
+  DaemonOptions opt;
+  opt.trusted_clients = true;  // match the fixture engine's config exactly
+  constexpr std::uint64_t kSeed = 55;
+  mathx::Rng rng(kSeed);
+  ChronosDaemon daemon(f.source, fast_config().ranging,
+                       f.engine->calibration(), rng, opt);
+  auto [client_end, daemon_end] = make_loopback();
+  daemon.attach(daemon_end);
+
+  std::vector<RangingReply> replies;
+  std::thread client([&, end = client_end]() {
+    ChronosClient c(end);
+    ASSERT_TRUE(c.connect().ok());
+    ASSERT_TRUE(c.submit(f.requests[0]).ok());
+    // Unknown transmitter: admitted (a ticket is consumed, mirroring
+    // batch index alignment) but answered with the resolution failure.
+    ASSERT_TRUE(
+        c.submit({{chronos::NodeId{424242}, 0}, {chronos::NodeId{500}, 0}})
+            .ok());
+    ASSERT_TRUE(c.submit(f.requests[1]).ok());
+    replies = c.drain();
+    EXPECT_TRUE(c.close().ok());
+  });
+  daemon.serve();
+  client.join();
+
+  ASSERT_EQ(replies.size(), 3u);
+  EXPECT_TRUE(replies[0].status.ok());
+  EXPECT_EQ(replies[1].status.code(), chronos::StatusCode::kUnknownNode);
+  EXPECT_TRUE(replies[2].status.ok());
+  EXPECT_EQ(daemon.stats().admitted, 3u);
+  EXPECT_EQ(daemon.stats().failed_resolution, 1u);
+
+  // The equivalence holds including the failed slot.
+  mathx::Rng batch_rng(kSeed);
+  const auto batch =
+      f.engine->measure_batch(daemon.admitted_requests(), batch_rng, {});
+  ASSERT_EQ(batch.results.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    expect_reply_matches(replies[i], reply_of(batch.results[i]));
+  }
+}
+
+}  // namespace
+}  // namespace chronos::netd

@@ -1,0 +1,313 @@
+// The chronosd wire protocol: frame round-trips, the incremental parser,
+// and the exact typed-Status mapping for malformed frames. The framing
+// rules here are the trust boundary of the daemon — every case in the
+// malformed table is a frame an attacker (or a skewed peer) can cheaply
+// produce, and each must map to a SPECIFIC status, never an exception or
+// an out-of-bounds read (the fuzz harness extends this property to
+// arbitrary bytes).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "netd/wire.hpp"
+
+namespace chronos::netd {
+namespace {
+
+std::vector<std::uint8_t> valid_request_bytes() {
+  std::vector<std::uint8_t> bytes;
+  RequestFrame req;
+  req.request_id = 77;
+  req.request = {{chronos::NodeId{9001}, 1}, {chronos::NodeId{9002}, 0}};
+  encode_request(bytes, req);
+  return bytes;
+}
+
+DecodeOutcome decode(const std::vector<std::uint8_t>& bytes) {
+  return decode_frame(std::span<const std::uint8_t>(bytes));
+}
+
+// ---------------------------------------------------------------------------
+// Round trips
+// ---------------------------------------------------------------------------
+
+TEST(WireFrame, HelloAndGoodbyeRoundTrip) {
+  std::vector<std::uint8_t> bytes;
+  encode_hello(bytes);
+  EXPECT_EQ(bytes.size(), kFrameHeaderBytes);
+  auto out = decode(bytes);
+  ASSERT_TRUE(out.has_frame);
+  EXPECT_EQ(out.frame.type, FrameType::kHello);
+  EXPECT_EQ(out.consumed, bytes.size());
+
+  bytes.clear();
+  encode_goodbye(bytes);
+  out = decode(bytes);
+  ASSERT_TRUE(out.has_frame);
+  EXPECT_EQ(out.frame.type, FrameType::kGoodbye);
+}
+
+TEST(WireFrame, HelloAckRoundTrip) {
+  std::vector<std::uint8_t> bytes;
+  HelloAckFrame ack;
+  ack.version = kWireVersion;
+  ack.shards = 4;
+  ack.queue_depth = 64;
+  encode_hello_ack(bytes, ack);
+  const auto out = decode(bytes);
+  ASSERT_TRUE(out.has_frame);
+  ASSERT_EQ(out.frame.type, FrameType::kHelloAck);
+  EXPECT_EQ(out.frame.hello_ack.version, kWireVersion);
+  EXPECT_EQ(out.frame.hello_ack.shards, 4);
+  EXPECT_EQ(out.frame.hello_ack.queue_depth, 64u);
+}
+
+TEST(WireFrame, RequestRoundTrip) {
+  const auto bytes = valid_request_bytes();
+  EXPECT_EQ(bytes.size(), kFrameHeaderBytes + 32);
+  const auto out = decode(bytes);
+  ASSERT_TRUE(out.status.ok());
+  ASSERT_TRUE(out.has_frame);
+  ASSERT_EQ(out.frame.type, FrameType::kRequest);
+  EXPECT_EQ(out.frame.request.request_id, 77u);
+  EXPECT_EQ(out.frame.request.request.tx.node.value, 9001u);
+  EXPECT_EQ(out.frame.request.request.tx.antenna, 1u);
+  EXPECT_EQ(out.frame.request.request.rx.node.value, 9002u);
+  EXPECT_EQ(out.frame.request.request.rx.antenna, 0u);
+}
+
+TEST(WireFrame, ResponseRoundTripsDoublesBitExactly) {
+  ResponseFrame resp;
+  resp.request_id = 123456789012345ull;
+  resp.code = chronos::StatusCode::kIntegrityViolation;
+  resp.message = "sweep failed the detection gate";
+  // Awkward bit patterns: denormal, negative zero, huge, and NaN all must
+  // survive the wire exactly (the determinism contract is bit-level).
+  resp.tof_s = 5e-324;
+  resp.distance_m = -0.0;
+  resp.toa_s = 1.7976931348623157e308;
+  resp.detection_delay_s = std::nan("");
+  resp.solver_iterations = 321;
+  resp.attempts = 3;
+  resp.peak_found = true;
+
+  std::vector<std::uint8_t> bytes;
+  encode_response(bytes, resp);
+  const auto out = decode(bytes);
+  ASSERT_TRUE(out.status.ok());
+  ASSERT_TRUE(out.has_frame);
+  ASSERT_EQ(out.frame.type, FrameType::kResponse);
+  const ResponseFrame& got = out.frame.response;
+  EXPECT_EQ(got.request_id, resp.request_id);
+  EXPECT_EQ(got.code, resp.code);
+  EXPECT_EQ(got.message, resp.message);
+  EXPECT_EQ(std::memcmp(&got.tof_s, &resp.tof_s, sizeof(double)), 0);
+  EXPECT_EQ(std::memcmp(&got.distance_m, &resp.distance_m, sizeof(double)),
+            0);
+  EXPECT_EQ(std::memcmp(&got.toa_s, &resp.toa_s, sizeof(double)), 0);
+  EXPECT_EQ(std::memcmp(&got.detection_delay_s, &resp.detection_delay_s,
+                        sizeof(double)),
+            0);
+  EXPECT_EQ(got.solver_iterations, 321u);
+  EXPECT_EQ(got.attempts, 3u);
+  EXPECT_TRUE(got.peak_found);
+}
+
+TEST(WireFrame, EveryStatusCodeSurvivesTheWire) {
+  for (const chronos::StatusCode code : chronos::kAllStatusCodes) {
+    ResponseFrame resp;
+    resp.request_id = 1;
+    resp.code = code;
+    std::vector<std::uint8_t> bytes;
+    encode_response(bytes, resp);
+    const auto out = decode(bytes);
+    ASSERT_TRUE(out.has_frame) << chronos::code_name(code);
+    EXPECT_EQ(out.frame.response.code, code);
+  }
+}
+
+TEST(WireFrame, ResponseMessageTruncatesAtTheCap) {
+  ResponseFrame resp;
+  resp.code = chronos::StatusCode::kInternal;
+  resp.message.assign(3 * kMaxStatusMessageBytes, 'x');
+  std::vector<std::uint8_t> bytes;
+  encode_response(bytes, resp);
+  const auto out = decode(bytes);
+  ASSERT_TRUE(out.has_frame);
+  EXPECT_EQ(out.frame.response.message.size(), kMaxStatusMessageBytes);
+}
+
+// ---------------------------------------------------------------------------
+// Malformed-frame table: every structural damage maps to an exact status
+// ---------------------------------------------------------------------------
+
+struct MalformedCase {
+  const char* name;
+  std::size_t offset;          ///< byte to overwrite...
+  std::uint8_t value;          ///< ...with this
+  chronos::StatusCode expect;
+};
+
+TEST(WireFrameMalformed, HeaderDamageTable) {
+  const MalformedCase kCases[] = {
+      {"bad magic byte 0", 0, 0x00, chronos::StatusCode::kMalformedFrame},
+      {"bad magic byte 3", 3, 0xFF, chronos::StatusCode::kMalformedFrame},
+      {"version skew low", 4, 0x02, chronos::StatusCode::kVersionMismatch},
+      {"version skew high", 5, 0x80, chronos::StatusCode::kVersionMismatch},
+      {"unknown frame type zero", 6, 0x00,
+       chronos::StatusCode::kMalformedFrame},
+      {"unknown frame type high", 6, 0x63,
+       chronos::StatusCode::kMalformedFrame},
+      {"oversize length", 11, 0xFF, chronos::StatusCode::kMalformedFrame},
+      {"nonzero reserved", 12, 0x01, chronos::StatusCode::kMalformedFrame},
+  };
+  for (const auto& c : kCases) {
+    auto bytes = valid_request_bytes();
+    bytes[c.offset] = c.value;
+    const auto out = decode(bytes);
+    EXPECT_FALSE(out.has_frame) << c.name;
+    EXPECT_FALSE(out.need_more) << c.name;
+    EXPECT_EQ(out.status.code(), c.expect) << c.name;
+  }
+}
+
+TEST(WireFrameMalformed, WrongPayloadSizeForType) {
+  // A request whose length field claims a short body: structurally
+  // complete (header + 16 bytes of payload present) but the wrong size
+  // for its type.
+  auto bytes = valid_request_bytes();
+  bytes[8] = 16;  // length 32 -> 16
+  bytes.resize(kFrameHeaderBytes + 16);
+  const auto out = decode(bytes);
+  EXPECT_FALSE(out.has_frame);
+  EXPECT_EQ(out.status.code(), chronos::StatusCode::kMalformedFrame);
+
+  // A hello carrying a payload is equally malformed.
+  std::vector<std::uint8_t> hello;
+  encode_hello(hello);
+  hello[8] = 4;
+  hello.insert(hello.end(), {1, 2, 3, 4});
+  const auto out2 = decode(hello);
+  EXPECT_FALSE(out2.has_frame);
+  EXPECT_EQ(out2.status.code(), chronos::StatusCode::kMalformedFrame);
+}
+
+TEST(WireFrameMalformed, ResponseBodyDamage) {
+  ResponseFrame resp;
+  resp.code = chronos::StatusCode::kOk;
+  resp.message = "ok";
+
+  {  // status code beyond the registry
+    std::vector<std::uint8_t> bytes;
+    encode_response(bytes, resp);
+    bytes[kFrameHeaderBytes + 40] = 0xEE;
+    const auto out = decode(bytes);
+    EXPECT_FALSE(out.has_frame);
+    EXPECT_EQ(out.status.code(), chronos::StatusCode::kMalformedFrame);
+  }
+  {  // nonzero pad byte
+    std::vector<std::uint8_t> bytes;
+    encode_response(bytes, resp);
+    bytes[kFrameHeaderBytes + 54] = 0x01;
+    const auto out = decode(bytes);
+    EXPECT_FALSE(out.has_frame);
+    EXPECT_EQ(out.status.code(), chronos::StatusCode::kMalformedFrame);
+  }
+  {  // message length disagrees with the frame length
+    std::vector<std::uint8_t> bytes;
+    encode_response(bytes, resp);
+    bytes[kFrameHeaderBytes + 56] = 0xFF;
+    const auto out = decode(bytes);
+    EXPECT_FALSE(out.has_frame);
+    EXPECT_EQ(out.status.code(), chronos::StatusCode::kMalformedFrame);
+  }
+}
+
+TEST(WireFrameMalformed, TruncationIsNeedMoreNeverAnError) {
+  const auto bytes = valid_request_bytes();
+  for (std::size_t n = 0; n < bytes.size(); ++n) {
+    const auto out = decode_frame(
+        std::span<const std::uint8_t>(bytes.data(), n));
+    EXPECT_TRUE(out.status.ok()) << "prefix length " << n;
+    EXPECT_TRUE(out.need_more) << "prefix length " << n;
+    EXPECT_FALSE(out.has_frame) << "prefix length " << n;
+    EXPECT_EQ(out.consumed, 0u) << "prefix length " << n;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Incremental parser
+// ---------------------------------------------------------------------------
+
+TEST(FrameParser, ByteAtATimeMatchesSingleShot) {
+  std::vector<std::uint8_t> stream;
+  encode_hello(stream);
+  ResponseFrame resp;
+  resp.request_id = 5;
+  resp.code = chronos::StatusCode::kQueueFull;
+  resp.message = "resubmit";
+  encode_response(stream, resp);
+  RequestFrame req;
+  req.request_id = 6;
+  req.request = {{chronos::NodeId{1}, 0}, {chronos::NodeId{2}, 0}};
+  encode_request(stream, req);
+  encode_goodbye(stream);
+
+  FrameParser parser;
+  std::vector<FrameType> seen;
+  Frame frame;
+  for (const std::uint8_t byte : stream) {
+    parser.feed(std::span<const std::uint8_t>(&byte, 1));
+    while (parser.poll(frame) == FrameParser::Poll::kFrame) {
+      seen.push_back(frame.type);
+      if (frame.type == FrameType::kResponse) {
+        EXPECT_EQ(frame.response.request_id, 5u);
+        EXPECT_EQ(frame.response.code, chronos::StatusCode::kQueueFull);
+      }
+      if (frame.type == FrameType::kRequest) {
+        EXPECT_EQ(frame.request.request_id, 6u);
+      }
+    }
+  }
+  ASSERT_EQ(seen.size(), 4u);
+  EXPECT_EQ(seen[0], FrameType::kHello);
+  EXPECT_EQ(seen[1], FrameType::kResponse);
+  EXPECT_EQ(seen[2], FrameType::kRequest);
+  EXPECT_EQ(seen[3], FrameType::kGoodbye);
+  EXPECT_EQ(parser.buffered(), 0u);
+}
+
+TEST(FrameParser, PoisonsOnMalformedAndStaysPoisoned) {
+  FrameParser parser;
+  std::vector<std::uint8_t> bad = valid_request_bytes();
+  bad[0] = 0x00;  // bad magic
+  parser.feed(bad);
+  Frame frame;
+  EXPECT_EQ(parser.poll(frame), FrameParser::Poll::kError);
+  EXPECT_EQ(parser.error().code(), chronos::StatusCode::kMalformedFrame);
+
+  // Even perfectly valid bytes after the damage stay rejected: framing
+  // on this stream is lost for good.
+  std::vector<std::uint8_t> good;
+  encode_hello(good);
+  parser.feed(good);
+  EXPECT_EQ(parser.poll(frame), FrameParser::Poll::kError);
+  EXPECT_EQ(parser.error().code(), chronos::StatusCode::kMalformedFrame);
+}
+
+TEST(FrameParser, VersionSkewReportsVersionMismatch) {
+  FrameParser parser;
+  std::vector<std::uint8_t> skewed = valid_request_bytes();
+  skewed[4] = 0x07;  // version 7
+  parser.feed(skewed);
+  Frame frame;
+  EXPECT_EQ(parser.poll(frame), FrameParser::Poll::kError);
+  EXPECT_EQ(parser.error().code(), chronos::StatusCode::kVersionMismatch);
+}
+
+}  // namespace
+}  // namespace chronos::netd
